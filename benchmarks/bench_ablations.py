@@ -1,0 +1,131 @@
+"""Ablations of BeaconGNN design choices (DESIGN.md section 1).
+
+Not a paper figure — these isolate the contribution of individual
+mechanisms the paper motivates but does not ablate separately:
+
+* secondary-command **coalescing** (Section V-A: "all commands for the
+  same secondary section will coalesce to avoid redundant reads");
+* **prep/compute pipelining** (Section VI-D's overlapped execution);
+* **register pipelining** in the die model (cache/data register split —
+  off by default to match the paper's Figure 7a behaviour);
+* **out-of-order sampling** itself (BG-DGSP vs BG-SP, re-reported here
+  as the control).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.gnn import Graph
+from repro.directgraph import FormatSpec, build_directgraph
+from repro.gnn.features import DenseFeatureTable
+from repro.isc import CommandKind, GnnTaskConfig, run_in_storage_sampling
+from repro.platforms import run_platform
+from repro.ssd import ull_ssd
+
+WORKLOAD = "amazon"
+
+
+def test_ablation_secondary_coalescing(benchmark):
+    """Coalescing removes redundant secondary-section reads."""
+
+    def experiment():
+        # a hub node whose neighbor list spans several secondary sections
+        lists = [[(j % 50) + 1 for j in range(8000)]] + [[0]] * 50
+        graph = Graph.from_neighbor_lists(lists)
+        feats = DenseFeatureTable.random(graph.num_nodes, 8, seed=0)
+        spec = FormatSpec(page_size=4096, feature_dim=8)
+        image = build_directgraph(graph, feats, spec)
+        config = GnnTaskConfig(num_hops=1, fanout=64, feature_dim=8, seed=3)
+        on = run_in_storage_sampling(image, config, [0], coalesce_secondary=True)
+        off = run_in_storage_sampling(image, config, [0], coalesce_secondary=False)
+        return on, off
+
+    on, off = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    sec = CommandKind.SAMPLE_SECONDARY
+    print(
+            f"\ncoalescing ON : {on.commands_by_kind.get(sec, 0)} secondary reads"
+            f"\ncoalescing OFF: {off.commands_by_kind.get(sec, 0)} secondary reads"
+    )
+    assert on.commands_by_kind.get(sec, 0) < off.commands_by_kind.get(sec, 0)
+    # both produce the same subgraph
+    assert on.subgraphs[0].canonical() == off.subgraphs[0].canonical()
+
+
+def test_ablation_pipeline_overlap(benchmark, prepared_cache, bench_env):
+    """Section VI-D: overlapping prep(i) with compute(i-1) raises
+    throughput when compute is non-negligible."""
+
+    def experiment():
+        prepared = prepared_cache(WORKLOAD)
+        kwargs = dict(batch_size=bench_env.batch, num_batches=4)
+        on = run_platform("bg2", prepared, pipeline_overlap=True, **kwargs)
+        off = run_platform("bg2", prepared, pipeline_overlap=False, **kwargs)
+        return on, off
+
+    on, off = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(
+        f"\npipelining ON : {on.throughput_targets_per_sec:,.0f} targets/s"
+        f"\npipelining OFF: {off.throughput_targets_per_sec:,.0f} targets/s"
+        f" (+{(on.throughput_targets_per_sec / off.throughput_targets_per_sec - 1) * 100:.0f}% from overlap)"
+    )
+    assert on.throughput_targets_per_sec > off.throughput_targets_per_sec
+
+
+def test_ablation_register_pipelining(benchmark, prepared_cache, bench_env):
+    """Cache/data register split lets a die read while its previous page
+    drains — a large win for page-granular platforms."""
+
+    def experiment():
+        prepared = prepared_cache(WORKLOAD)
+        kwargs = dict(batch_size=bench_env.batch, num_batches=bench_env.nbatch)
+        plain = run_platform("bg1", prepared, ssd_config=ull_ssd(), **kwargs)
+        piped = run_platform(
+            "bg1",
+            prepared,
+            ssd_config=ull_ssd().with_flash(pipelined_registers=True),
+            **kwargs,
+        )
+        return plain, piped
+
+    plain, piped = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(
+        f"\nsingle register   : {plain.throughput_targets_per_sec:,.0f} targets/s"
+        f"\npipelined register: {piped.throughput_targets_per_sec:,.0f} targets/s"
+    )
+    assert piped.throughput_targets_per_sec >= plain.throughput_targets_per_sec
+
+
+def test_ablation_out_of_order_sampling(benchmark, run_cache):
+    """The DirectGraph control: BG-DGSP (out-of-order) vs BG-SP (hop
+    barriers), everything else equal."""
+
+    def experiment():
+        return (
+            run_cache("bg_sp", WORKLOAD),
+            run_cache("bg_dgsp", WORKLOAD),
+        )
+
+    in_order, out_of_order = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            f"{r.throughput_targets_per_sec:,.0f}",
+            round(r.hop_timeline.overlap_fraction(), 2),
+            round(r.mean_active_dies(), 1),
+        )
+        for name, r in (("in-order (BG-SP)", in_order), ("out-of-order (BG-DGSP)", out_of_order))
+    ]
+    print()
+    print(
+        format_table(
+            ["variant", "targets/s", "hop overlap", "active dies"],
+            rows,
+            title="Ablation: out-of-order sampling",
+        )
+    )
+    assert (
+        out_of_order.throughput_targets_per_sec
+        > in_order.throughput_targets_per_sec
+    )

@@ -1,0 +1,71 @@
+"""Figure 7a — motivation: page-granular channel transfer wastes ULL flash.
+
+The paper's experiment: read 4 KB pages from 1..8 active ULL-flash dies
+sharing one channel. Increasing dies 1 -> 8 yields only ~49% more
+throughput while average latency grows ~7.7x, because page transfers
+serialize on the channel bus (Figure 6).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.sim import Simulator
+from repro.sim.stats import StageRecord
+from repro.ssd import DieExecution, FlashBackend, FlashConfig, FlashJob
+
+READS_PER_DIE = 64
+
+
+def _run(num_active_dies: int, payload: int = 4096):
+    sim = Simulator()
+    config = FlashConfig(num_channels=1, dies_per_channel=8)
+    backend = FlashBackend(sim, config, lambda job: DieExecution(0.0, payload))
+    jobs = []
+    for r in range(READS_PER_DIE):
+        for d in range(num_active_dies):
+            job = FlashJob(
+                page_index=d, record=StageRecord(command_id=len(jobs), hop=0)
+            )
+            backend.submit(job)
+            jobs.append(job)
+    sim.run()
+    throughput = len(jobs) / sim.now
+    latency = sum(j.record.transfer_end - j.record.issued for j in jobs) / len(jobs)
+    return throughput, latency
+
+
+def test_fig07_motivation(benchmark):
+    def experiment():
+        rows = []
+        base_thr, base_lat = None, None
+        for dies in range(1, 9):
+            thr, lat = _run(dies)
+            if base_thr is None:
+                base_thr, base_lat = thr, lat
+            rows.append(
+                (
+                    dies,
+                    thr / 1e3,
+                    thr / base_thr,
+                    lat * 1e6,
+                    lat / base_lat,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["active dies", "kIOPS", "thr vs 1 die", "avg lat (us)", "lat vs 1 die"],
+            rows,
+            title="Figure 7a: ULL dies on one channel (paper: +49% thr, 7.7x lat)",
+        )
+    )
+    thr_gain = rows[-1][2]
+    lat_gain = rows[-1][4]
+    # paper shape: throughput saturates far below 8x; latency explodes
+    assert thr_gain < 2.5
+    assert lat_gain > 3.0

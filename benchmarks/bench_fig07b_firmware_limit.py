@@ -1,0 +1,80 @@
+"""Challenge 3 motivation — firmware-scheduled flash I/O ceiling.
+
+Section III's third challenge: once small random I/O is supported (die
+sampling removes the channel bottleneck), the flash firmware becomes the
+backend bottleneck — request-queue management, DMA configuration, and
+polling all cost embedded-core time, so throughput caps at roughly
+``cores / per-request-core-time`` regardless of how many ULL dies sit
+behind it. Hardware channel routing tracks the dies instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.ssd import FirmwareConfig, FlashConfig
+from repro.ssd.firmware_pipeline import drive_backend
+
+REQUESTS = 3000
+
+
+def test_fig07b_firmware_limit(benchmark):
+    def experiment():
+        rows = []
+        for dies in (2, 4, 8, 16):
+            flash = FlashConfig(num_channels=8, dies_per_channel=dies)
+            fw = drive_backend(REQUESTS, flash=flash, use_hardware=False)
+            hw = drive_backend(REQUESTS, flash=flash, use_hardware=True)
+            rows.append(
+                (
+                    8 * dies,
+                    fw["iops"] / 1e6,
+                    hw["iops"] / 1e6,
+                    hw["iops"] / fw["iops"],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["total dies", "firmware MIOPS", "hw-router MIOPS", "hw/fw"],
+            rows,
+            title="Challenge 3: backend IOPS, firmware vs hardware control",
+        )
+    )
+    # firmware throughput saturates as dies grow ...
+    fw_gain = rows[-1][1] / rows[0][1]
+    hw_gain = rows[-1][2] / rows[0][2]
+    assert hw_gain > fw_gain
+    # ... and the hardware path's advantage widens with backend size
+    assert rows[-1][3] > rows[0][3]
+    assert rows[-1][3] > 1.5
+
+
+def test_fig07b_cores_move_the_ceiling(benchmark):
+    def experiment():
+        flash = FlashConfig(num_channels=8, dies_per_channel=16)
+        out = {}
+        for cores in (1, 2, 4, 8):
+            fw = drive_backend(
+                REQUESTS,
+                flash=flash,
+                firmware=FirmwareConfig(num_cores=cores),
+                use_hardware=False,
+            )
+            out[cores] = fw["iops"]
+        return out
+
+    iops = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["cores", "MIOPS"],
+            [(c, round(v / 1e6, 3)) for c, v in iops.items()],
+            title="firmware ceiling scales with embedded cores",
+        )
+    )
+    assert iops[8] > 2.5 * iops[1]

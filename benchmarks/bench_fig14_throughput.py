@@ -1,0 +1,58 @@
+"""Figure 14 — overall throughput of all platforms on all five workloads.
+
+Paper reference points (normalized to CC, averaged over workloads):
+SmartSage 2.11x, GLIST 1.42x, BG-1 2.35x, BG-DG marginally above BG-1,
+BG-SP 5.47x over BG-1, BG-DGSP +20% over BG-SP, BG-2 +41% over BG-DGSP
+(~21.7x overall; up to 27.3x on the best workload).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, geomean
+from repro.workloads import workload_names
+
+PLATFORM_ORDER = [
+    "cc",
+    "glist",
+    "smartsage",
+    "bg1",
+    "bg_dg",
+    "bg_sp",
+    "bg_dgsp",
+    "bg2",
+]
+
+
+def test_fig14_throughput(benchmark, run_cache):
+    def experiment():
+        table = {}
+        for workload in workload_names():
+            runs = {p: run_cache(p, workload) for p in PLATFORM_ORDER}
+            base = runs["cc"].throughput_targets_per_sec
+            table[workload] = {
+                p: runs[p].throughput_targets_per_sec / base for p in PLATFORM_ORDER
+            }
+        return table
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for platform in PLATFORM_ORDER:
+        values = [table[w][platform] for w in table]
+        rows.append([platform] + [round(v, 2) for v in values] + [round(geomean(values), 2)])
+    print()
+    print(
+        format_table(
+            ["platform"] + list(table) + ["geomean"],
+            rows,
+            title="Figure 14: throughput normalized to CC",
+        )
+    )
+    means = {p: geomean([table[w][p] for w in table]) for p in PLATFORM_ORDER}
+    # paper-shape assertions
+    assert means["smartsage"] > means["glist"] > 1.0
+    assert means["bg1"] > means["smartsage"]
+    assert means["bg_dgsp"] > means["bg_sp"] > means["bg1"]
+    assert means["bg2"] > means["bg_dgsp"]
+    assert means["bg2"] > 6.0

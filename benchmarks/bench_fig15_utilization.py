@@ -1,0 +1,83 @@
+"""Figure 15(a-e) — active flash channels/dies over time per workload.
+
+Paper claims reproduced here:
+
+* BG-SP shows low-utilization valleys at hop boundaries;
+* BG-DGSP smooths them via out-of-order sampling;
+* BG-2 raises utilization further (+76% in the paper) and cuts total
+  sampling latency (~78%);
+* reddit/PPI (long features) are channel-transfer-bound -> low die
+  utilization even on BG-2; movielens/OGBN (short features) are die-read
+  bound -> low channel utilization; amazon balances both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.workloads import workload_names
+
+PLATFORMS = ["bg_sp", "bg_dgsp", "bg2"]
+
+
+def test_fig15_utilization(benchmark, run_cache):
+    def experiment():
+        rows = []
+        for workload in workload_names():
+            for platform in PLATFORMS:
+                run = run_cache(platform, workload)
+                rows.append(
+                    (
+                        workload,
+                        platform,
+                        run.mean_active_dies(),
+                        run.mean_active_channels(),
+                        run.mean_prep_seconds * 1e6,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["workload", "platform", "active dies (of 128)", "active ch (of 16)", "prep (us)"],
+            rows,
+            title="Figure 15a-e: flash resource utilization",
+        )
+    )
+    by = {(w, p): (d, c, t) for w, p, d, c, t in rows}
+    for workload in workload_names():
+        # BG-2 uses more dies and finishes prep faster than BG-SP
+        assert by[(workload, "bg2")][0] > by[(workload, "bg_sp")][0], workload
+        assert by[(workload, "bg2")][2] < by[(workload, "bg_sp")][2], workload
+
+
+def test_fig15_die_valleys(benchmark, run_cache):
+    """BG-SP's die-activity series dips at hop barriers; BG-DGSP's does not."""
+
+    def experiment():
+        out = {}
+        for platform in ("bg_sp", "bg_dgsp"):
+            run = run_cache(platform, "amazon")
+            # look only at the first batch's prep window
+            t1 = run.batches[0].prep_end
+            from repro.sim.stats import active_count_series
+
+            _, counts = active_count_series(run.die_trackers, 0.0, t1, bins=30)
+            out[platform] = counts
+        return out
+
+    series = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    def valley_score(counts):
+        # fraction of interior bins below 30% of the series peak
+        peak = max(counts) or 1.0
+        interior = counts[2:-2]
+        return sum(1 for c in interior if c < 0.3 * peak) / max(1, len(interior))
+
+    sp = valley_score(series["bg_sp"])
+    dgsp = valley_score(series["bg_dgsp"])
+    print(f"\nvalley fraction: bg_sp={sp:.2f} bg_dgsp={dgsp:.2f}")
+    assert sp > dgsp

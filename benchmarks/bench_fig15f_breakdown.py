@@ -1,0 +1,54 @@
+"""Figure 15f — end-to-end latency breakdown on amazon.
+
+Paper claims: CC's PCIe transfer dominates; BG-1/BG-DG spend most time on
+flash page movement; from BG-SP to BG-2 flash I/O time shrinks; host-side
+delay is always a minor share.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+
+PLATFORMS = ["cc", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+CATEGORIES = [
+    "host",
+    "pcie",
+    "firmware",
+    "flash_read",
+    "flash_transfer",
+    "dram",
+    "accelerator",
+]
+
+
+def test_fig15f_latency_breakdown(benchmark, run_cache):
+    def experiment():
+        return {p: run_cache(p, "amazon").latency_breakdown() for p in PLATFORMS}
+
+    breakdowns = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [p] + [breakdowns[p][c] * 1e6 for c in CATEGORIES] for p in PLATFORMS
+    ]
+    print()
+    print(
+        format_table(
+            ["platform"] + [f"{c} (us)" for c in CATEGORIES],
+            rows,
+            title="Figure 15f: per-batch busy time by subsystem (amazon)",
+        )
+    )
+    # CC: PCIe dominates every other category
+    cc = breakdowns["cc"]
+    assert cc["pcie"] >= max(v for k, v in cc.items() if k != "pcie") * 0.8
+    # flash I/O time shrinks monotonically from BG-SP to BG-2
+    flash = {
+        p: breakdowns[p]["flash_transfer"] + breakdowns[p]["flash_read"]
+        for p in PLATFORMS
+    }
+    assert flash["bg1"] > flash["bg_sp"]
+    # host delay is a minor share everywhere
+    for p in PLATFORMS:
+        total = sum(breakdowns[p].values())
+        assert breakdowns[p]["host"] < 0.4 * total, p

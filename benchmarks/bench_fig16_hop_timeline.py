@@ -1,0 +1,60 @@
+"""Figure 16 — timeline of sampling hops during data preparation.
+
+A k-hop GNN performs k+1 steps (k samplings + final-hop feature
+retrieval). BG-1 and BG-SP serialize the steps with gaps between; BG-DG,
+BG-DGSP, and BG-2 overlap them, BG-2 creating the largest overlap and the
+shortest total time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+
+PLATFORMS = ["bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+
+
+def test_fig16_hop_timeline(benchmark, run_cache):
+    def experiment():
+        out = {}
+        for platform in PLATFORMS:
+            run = run_cache(platform, "amazon")
+            tl = run.hop_timeline
+            out[platform] = {
+                "spans": tl.spans(),
+                "overlap": tl.overlap_fraction(),
+                "prep": run.batches[0].prep_seconds,
+            }
+        return out
+
+    data = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for platform in PLATFORMS:
+        spans = data[platform]["spans"]
+        span_text = "  ".join(
+            f"s{step}:[{s * 1e6:.0f},{e * 1e6:.0f}]us" for step, (s, e) in spans.items()
+        )
+        rows.append(
+            [
+                platform,
+                round(data[platform]["overlap"], 2),
+                round(data[platform]["prep"] * 1e6, 1),
+                span_text,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["platform", "overlap", "prep (us)", "step spans"],
+            rows,
+            title="Figure 16: hop timeline (steps 1..k sampling, k+1 features)",
+        )
+    )
+    # barriers serialize; DirectGraph overlaps
+    assert data["bg1"]["overlap"] < 0.4
+    assert data["bg_sp"]["overlap"] < 0.4
+    for p in ("bg_dg", "bg_dgsp", "bg2"):
+        assert data[p]["overlap"] > 0.5, p
+    # BG-2 achieves the shortest preparation
+    assert data["bg2"]["prep"] == min(d["prep"] for d in data.values())

@@ -1,0 +1,51 @@
+"""Figure 17 — latency breakdown of one flash command's lifetime.
+
+The lifetime runs from "address available at the frontend" to "result
+available at the frontend". Paper claims: the command's own flash time is
+a small share; waiting dominates; BG-SP cuts waits by shrinking transfers;
+DirectGraph *increases* wait_before_flash (more commands ready at once);
+BG-2's hardware processing cuts waiting ~68% vs BG-DGSP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+
+PLATFORMS = ["bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+STAGES = ["wait_before_flash", "flash", "transfer", "wait_after_flash"]
+
+
+def test_fig17_command_breakdown(benchmark, run_cache):
+    def experiment():
+        return {
+            p: run_cache(p, "amazon").command_breakdown() for p in PLATFORMS
+        }
+
+    data = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [p]
+        + [data[p][s] * 1e6 for s in STAGES]
+        + [sum(data[p].values()) * 1e6]
+        for p in PLATFORMS
+    ]
+    print()
+    print(
+        format_table(
+            ["platform"] + [f"{s} (us)" for s in STAGES] + ["lifetime (us)"],
+            rows,
+            title="Figure 17: mean flash-command lifetime breakdown (amazon)",
+        )
+    )
+    lifetime = {p: sum(data[p].values()) for p in PLATFORMS}
+    waits = {
+        p: data[p]["wait_before_flash"] + data[p]["wait_after_flash"]
+        for p in PLATFORMS
+    }
+    # flash time is a small portion of the lifetime on page platforms
+    assert data["bg1"]["flash"] < 0.4 * lifetime["bg1"]
+    # die-level sampling slashes waiting vs BG-1
+    assert waits["bg_sp"] < waits["bg1"]
+    # hardware routing cuts waiting vs firmware processing
+    assert waits["bg2"] < waits["bg_dgsp"]

@@ -1,0 +1,162 @@
+"""Figure 18 — sensitivity sweeps on amazon (all BG-X platforms).
+
+Six knobs, each swept with everything else at defaults:
+mini-batch size, channel bandwidth, controller core count, channel count,
+dies per channel, and flash page size. Paper claims asserted per sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.ssd import ull_ssd
+
+PLATFORMS = ["bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+WORKLOAD = "amazon"
+
+
+def _sweep(run_cache, label, variants, **run_kwargs):
+    """variants: list of (value, ssd_config, extra run kwargs)."""
+    table = {}
+    for value, config, extra in variants:
+        kwargs = dict(run_kwargs)
+        kwargs.update(extra)
+        for platform in PLATFORMS:
+            run = run_cache(
+                platform,
+                WORKLOAD,
+                ssd_config=config,
+                config_key=f"{label}={value}",
+                **kwargs,
+            )
+            table.setdefault(platform, {})[value] = run.throughput_targets_per_sec
+    return table
+
+
+def _print(table, label, values):
+    rows = []
+    for platform in PLATFORMS:
+        base = min(v for v in table[platform].values())
+        rows.append(
+            [platform] + [round(table[platform][v] / base, 2) for v in values]
+        )
+    print()
+    print(
+        format_table(
+            ["platform"] + [f"{label}={v}" for v in values],
+            rows,
+            title=f"Figure 18: sensitivity to {label} (normalized to each row's min)",
+        )
+    )
+
+
+def test_fig18_batch_size(benchmark, run_cache):
+    values = [32, 64, 128, 256]
+
+    def experiment():
+        variants = [(v, None, {"batch_size": v}) for v in values]
+        return _sweep(run_cache, "batch", variants)
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _print(table, "batch", values)
+    # BG-2 keeps scaling with batch size (more in-flight commands)
+    gain = {p: table[p][256] / table[p][32] for p in PLATFORMS}
+    assert gain["bg2"] >= gain["bg_dgsp"]
+    # larger batches close the BG-SP/BG-DGSP gap (barrier amortization)
+    gap_small = table["bg_dgsp"][32] / table["bg_sp"][32]
+    gap_large = table["bg_dgsp"][256] / table["bg_sp"][256]
+    assert gap_large < gap_small
+
+
+def test_fig18_channel_bandwidth(benchmark, run_cache):
+    values = [333, 800, 1600, 2400]
+
+    def experiment():
+        variants = [
+            (v, ull_ssd().with_flash(channel_bandwidth_bps=v * 1e6), {})
+            for v in values
+        ]
+        return _sweep(run_cache, "chbw", variants)
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _print(table, "chbw(MB/s)", values)
+    # page-granular platforms gain the most from bandwidth
+    gain = {p: table[p][2400] / table[p][333] for p in PLATFORMS}
+    assert gain["bg1"] > gain["bg_dgsp"]
+    assert gain["bg_dg"] > gain["bg_dgsp"]
+    # BG-2 saturates: little gain beyond 800 MB/s
+    assert table["bg2"][2400] / table["bg2"][800] < gain["bg1"]
+
+
+def test_fig18_core_count(benchmark, run_cache):
+    values = [1, 2, 4, 8]
+
+    def experiment():
+        variants = [(v, ull_ssd().with_firmware(num_cores=v), {}) for v in values]
+        return _sweep(run_cache, "cores", variants)
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _print(table, "cores", values)
+    # firmware-processed platforms improve with cores; BG-2 is insensitive
+    assert table["bg_dgsp"][8] / table["bg_dgsp"][1] > 1.5
+    assert table["bg2"][8] / table["bg2"][1] < 1.2
+    # the BG-2 advantage narrows as cores grow
+    gap1 = table["bg2"][1] / table["bg_dgsp"][1]
+    gap8 = table["bg2"][8] / table["bg_dgsp"][8]
+    assert gap8 < gap1
+
+
+def test_fig18_channel_count(benchmark, run_cache):
+    values = [4, 8, 16, 32]
+
+    def experiment():
+        variants = [
+            (v, ull_ssd().with_flash(num_channels=v), {}) for v in values
+        ]
+        return _sweep(run_cache, "channels", variants)
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _print(table, "channels", values)
+    # BG-1/BG-DG keep improving with channels (bandwidth-bound)
+    assert table["bg1"][32] > table["bg1"][4]
+    # firmware platforms plateau beyond 8 channels
+    assert table["bg_dgsp"][32] / table["bg_dgsp"][8] < 1.5
+    # BG-2 scales up to 16 channels, then DRAM becomes the bottleneck
+    assert table["bg2"][16] / table["bg2"][4] > 1.5
+    assert table["bg2"][32] / table["bg2"][16] < table["bg2"][16] / table["bg2"][8]
+
+
+def test_fig18_die_count(benchmark, run_cache):
+    values = [2, 4, 8, 16]
+
+    def experiment():
+        variants = [
+            (v, ull_ssd().with_flash(dies_per_channel=v), {}) for v in values
+        ]
+        return _sweep(run_cache, "dies", variants)
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _print(table, "dies/ch", values)
+    # page-transfer platforms cannot exploit extra dies
+    assert table["bg1"][16] / table["bg1"][2] < 2.0
+    # BG-2 keeps scaling with dies
+    assert table["bg2"][16] / table["bg2"][2] > table["bg1"][16] / table["bg1"][2]
+
+
+def test_fig18_page_size(benchmark, run_cache):
+    values = [2048, 4096, 8192, 16384]
+
+    def experiment():
+        variants = [
+            (v, ull_ssd().with_flash(page_size=v), {}) for v in values
+        ]
+        return _sweep(run_cache, "page", variants)
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _print(table, "page", values)
+    # small pages help page-granular platforms (less read amplification)
+    assert table["bg1"][2048] > table["bg1"][16384]
+    # BG-2 shows no large variance across page sizes
+    spread = max(table["bg2"].values()) / min(table["bg2"].values())
+    assert spread < 2.0

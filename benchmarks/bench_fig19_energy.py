@@ -1,0 +1,81 @@
+"""Figure 19 — energy breakdown and efficiency on amazon.
+
+Paper claims: CC spends the majority (~57%) of its energy moving data
+outside the storage; BG-1/BG-DG shift the cost to page transfers into SSD
+DRAM (~75%); BG-SP..BG-2 eliminate that and split energy between the
+flash backend and the frontend (DRAM buffer + accelerator). BG-2's energy
+efficiency is ~9.86x CC and ~4.25x BG-1; its average power (13.4 W) is
+far below the 75 W PCIe budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+
+PLATFORMS = ["cc", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+CATEGORIES = [
+    "external_transfer",
+    "dram",
+    "flash",
+    "controller",
+    "accelerator",
+]
+
+
+def test_fig19_energy(benchmark, run_cache):
+    def experiment():
+        out = {}
+        for platform in PLATFORMS:
+            run = run_cache(platform, "amazon")
+            out[platform] = {
+                "breakdown": dict(run.energy_breakdown),
+                "targets_per_joule": run.meters.get("targets_per_joule"),
+                "watts": run.meters.get("energy_watts"),
+            }
+        return out
+
+    data = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for platform in PLATFORMS:
+        b = data[platform]["breakdown"]
+        total = sum(b.values()) or 1.0
+        rows.append(
+            [platform]
+            + [round(100 * b[c] / total, 1) for c in CATEGORIES]
+            + [
+                round(data[platform]["targets_per_joule"], 0),
+                round(data[platform]["watts"], 1),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["platform"]
+            + [f"{c} %" for c in CATEGORIES]
+            + ["targets/J", "avg W"],
+            rows,
+            title="Figure 19: energy breakdown (% of total) and efficiency",
+        )
+    )
+
+    def frac(platform, cat):
+        b = data[platform]["breakdown"]
+        return b[cat] / (sum(b.values()) or 1.0)
+
+    # CC: external transfer is the single largest category
+    assert frac("cc", "external_transfer") == max(
+        frac("cc", c) for c in CATEGORIES
+    )
+    # BG-1: DRAM page movement dominates external transfer
+    assert frac("bg1", "dram") > frac("bg1", "external_transfer")
+    assert frac("bg1", "dram") > 0.3
+    # BG-SP.. BG-2 eliminate page-movement energy
+    assert frac("bg2", "dram") < frac("bg1", "dram")
+    # efficiency ordering and magnitude
+    eff = {p: data[p]["targets_per_joule"] for p in PLATFORMS}
+    assert eff["bg2"] > eff["bg1"] > eff["cc"]
+    assert eff["bg2"] / eff["cc"] > 3.0
+    # BG-2 stays far below the 75 W PCIe budget
+    assert data["bg2"]["watts"] < 75.0

@@ -1,0 +1,47 @@
+"""Section VII-E — performance on a traditional (20 us read) SSD.
+
+Paper: BG-1/BG-DG/BG-SP/BG-DGSP/BG-2 achieve 2.20/2.50/3.19/4.19/4.19x
+over CC — DirectGraph and die sampling still help, but channel-level
+routing adds nothing because 20 us reads leave the firmware plenty of
+headroom.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.ssd import traditional_ssd
+
+PLATFORMS = ["cc", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+PAPER = {"bg1": 2.20, "bg_dg": 2.50, "bg_sp": 3.19, "bg_dgsp": 4.19, "bg2": 4.19}
+
+
+def test_sec7e_traditional_ssd(benchmark, run_cache):
+    def experiment():
+        cfg = traditional_ssd()
+        return {
+            p: run_cache(
+                p, "amazon", ssd_config=cfg, config_key="traditional"
+            ).throughput_targets_per_sec
+            for p in PLATFORMS
+        }
+
+    thr = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    base = thr["cc"]
+    rows = [
+        (p, round(thr[p] / base, 2), PAPER.get(p, 1.0)) for p in PLATFORMS
+    ]
+    print()
+    print(
+        format_table(
+            ["platform", "measured (x CC)", "paper (x CC)"],
+            rows,
+            title="Section VII-E: traditional 20us SSD",
+        )
+    )
+    # the ISC designs still help on slow flash
+    assert thr["bg1"] > thr["cc"]
+    assert thr["bg_dgsp"] > thr["bg_sp"] > thr["bg1"]
+    # but routing no longer matters: BG-2 is nearly BG-DGSP
+    assert thr["bg2"] / thr["bg_dgsp"] < 1.25

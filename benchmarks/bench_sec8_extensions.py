@@ -1,0 +1,79 @@
+"""Section VIII projections: storage arrays and real-time GNN queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.platforms import measure_query_latency, run_scaleout
+
+
+def test_sec8_scaleout_array(benchmark, prepared_cache, bench_env):
+    def experiment():
+        prepared = prepared_cache("amazon")
+        rows = []
+        single = None
+        for devices in (1, 2, 4, 8):
+            # weak scaling: constant per-device batch, array batch grows
+            array = run_scaleout(
+                devices, "bg2", prepared,
+                batch_size=bench_env.batch * devices, num_batches=2,
+                cross_partition_fraction=0.1,
+            )
+            if single is None:
+                single = array
+            rows.append(
+                (
+                    devices,
+                    array.throughput_targets_per_sec,
+                    array.scaling_efficiency(single),
+                    array.p2p_seconds_per_batch * 1e6,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["SSDs", "targets/s", "efficiency", "P2P us/batch"],
+            [(d, f"{t:,.0f}", round(e, 2), round(p, 1)) for d, t, e, p in rows],
+            title="Section VIII: BeaconGNN storage-array scale-out (amazon)",
+        )
+    )
+    thr = {d: t for d, t, _e, _p in rows}
+    # the array keeps gaining throughput with more SSDs ...
+    assert thr[2] > 1.4 * thr[1]
+    assert thr[8] > thr[4] > thr[2]
+    # ... near-linearly under weak scaling (the paper's projection)
+    eff = {d: e for d, _t, e, _p in rows}
+    assert eff[4] > 0.8
+    assert eff[8] > 0.7
+
+
+def test_sec8_query_latency(benchmark, prepared_cache):
+    def experiment():
+        prepared = prepared_cache("amazon")
+        return {
+            platform: measure_query_latency(
+                platform, prepared, num_queries=5, batch_size=1
+            )
+            for platform in ("cc", "bg1", "bg2")
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        (p, round(r.mean_s * 1e6, 1), round(r.p99_s * 1e6, 1))
+        for p, r in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["platform", "mean (us)", "p99 (us)"],
+            rows,
+            title="Section VIII: single-query inference latency",
+        )
+    )
+    # one host round trip + no channel congestion => much lower latency
+    assert results["bg2"].mean_s < results["cc"].mean_s / 2
+    assert results["bg2"].mean_s < results["bg1"].mean_s

@@ -1,0 +1,48 @@
+"""Table II — evaluated system configuration (printed for the record)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import discrete_accelerator, ssd_accelerator
+from repro.bench import format_table
+from repro.ssd import traditional_ssd, ull_ssd
+
+
+def test_table2_configuration(benchmark):
+    def experiment():
+        return ull_ssd()
+
+    cfg = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    flash = cfg.flash
+    rows = [
+        ("flash channels", flash.num_channels),
+        ("dies per channel", flash.dies_per_channel),
+        ("total dies", flash.total_dies),
+        ("page size (B)", flash.page_size),
+        ("ULL read latency (us)", flash.read_latency_s * 1e6),
+        ("traditional read latency (us)", traditional_ssd().flash.read_latency_s * 1e6),
+        ("channel bandwidth (MB/s)", flash.channel_bandwidth_bps / 1e6),
+        ("firmware cores", cfg.firmware.num_cores),
+        ("SSD DRAM bandwidth (GB/s)", cfg.dram.bandwidth_bps / 1e9),
+        ("PCIe bandwidth (GB/s)", cfg.pcie.bandwidth_bps / 1e9),
+        ("router parse latency (ns)", cfg.hw_router.parse_s * 1e9),
+        ("die sampler per-neighbor (ns)", cfg.die_sampler.per_neighbor_s * 1e9),
+    ]
+    ssd_acc = ssd_accelerator()
+    tpu = discrete_accelerator()
+    rows += [
+        (
+            "SSD accelerator",
+            f"{ssd_acc.systolic_rows}x{ssd_acc.systolic_cols} + "
+            f"{ssd_acc.vector_lanes}-lane vec @ {ssd_acc.freq_hz / 1e6:.0f} MHz",
+        ),
+        (
+            "discrete accelerator",
+            f"{tpu.systolic_rows}x{tpu.systolic_cols} @ {tpu.freq_hz / 1e6:.0f} MHz",
+        ),
+    ]
+    print()
+    print(format_table(["parameter", "value"], rows, title="Table II: configuration"))
+    assert flash.total_dies == 128  # the paper's "16 channels, 128 dies"
+    assert flash.read_latency_s == pytest.approx(3e-6)

@@ -1,0 +1,83 @@
+"""Shared fixtures for the benchmark harness.
+
+Workload images and platform runs are cached per session so that Figures
+14-17 and 19 (which all analyze the same sweep) simulate each
+(platform, workload) pair exactly once.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_NODES``   — scaled node count per workload (default 4096)
+* ``REPRO_BENCH_BATCH``   — mini-batch size (default 64)
+* ``REPRO_BENCH_NBATCH``  — pipelined batches per run (default 2)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.platforms import PreparedWorkload, run_platform
+from repro.ssd import SSDConfig
+from repro.workloads import workload_by_name
+
+
+@dataclass(frozen=True)
+class BenchEnv:
+    nodes: int
+    batch: int
+    nbatch: int
+
+
+@pytest.fixture(scope="session")
+def bench_env() -> BenchEnv:
+    return BenchEnv(
+        nodes=int(os.environ.get("REPRO_BENCH_NODES", "4096")),
+        batch=int(os.environ.get("REPRO_BENCH_BATCH", "64")),
+        nbatch=int(os.environ.get("REPRO_BENCH_NBATCH", "2")),
+    )
+
+
+@pytest.fixture(scope="session")
+def prepared_cache(bench_env):
+    cache: Dict[Tuple[str, int], PreparedWorkload] = {}
+
+    def get(workload: str, page_size: int = 4096) -> PreparedWorkload:
+        key = (workload, page_size)
+        if key not in cache:
+            spec = workload_by_name(workload).scaled(bench_env.nodes)
+            cache[key] = PreparedWorkload.prepare(spec, page_size=page_size)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def run_cache(bench_env, prepared_cache):
+    cache = {}
+
+    def get(
+        platform: str,
+        workload: str,
+        ssd_config: SSDConfig = None,
+        config_key: str = "default",
+        **kwargs,
+    ):
+        key = (platform, workload, config_key, tuple(sorted(kwargs.items())))
+        if key not in cache:
+            page_size = ssd_config.flash.page_size if ssd_config else 4096
+            params = dict(
+                batch_size=bench_env.batch, num_batches=bench_env.nbatch
+            )
+            params.update(kwargs)
+            cache[key] = run_platform(
+                platform,
+                prepared_cache(workload, page_size),
+                ssd_config=ssd_config,
+                **params,
+            )
+        return cache[key]
+
+    return get

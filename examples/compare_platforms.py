@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Compare all eight platforms on one workload (a miniature Figure 14).
+
+Run:  python examples/compare_platforms.py [workload] [scaled_nodes]
+      e.g. python examples/compare_platforms.py reddit 2048
+"""
+
+import sys
+
+from repro.bench import format_table
+from repro.platforms import PLATFORMS, PreparedWorkload, run_platform
+from repro.workloads import workload_by_name
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "amazon"
+    nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 2048
+    spec = workload_by_name(workload).scaled(nodes)
+    prepared = PreparedWorkload.prepare(spec)
+
+    rows = []
+    base = None
+    for name in ("cc", "glist", "smartsage", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"):
+        result = run_platform(name, prepared, batch_size=32, num_batches=2)
+        thr = result.throughput_targets_per_sec
+        if base is None:
+            base = thr
+        rows.append(
+            (
+                name,
+                f"{thr:,.0f}",
+                round(thr / base, 2),
+                round(result.mean_prep_seconds * 1e6, 1),
+                round(result.mean_active_dies(), 1),
+                round(result.hop_timeline.overlap_fraction(), 2),
+                f"{result.meters.get('targets_per_joule'):,.0f}",
+            )
+        )
+        print(f"  simulated {name}: {PLATFORMS[name].description}")
+
+    print()
+    print(
+        format_table(
+            [
+                "platform",
+                "targets/s",
+                "x CC",
+                "prep us",
+                "active dies",
+                "hop overlap",
+                "targets/J",
+            ],
+            rows,
+            title=f"Platform comparison on {workload} ({nodes} nodes)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

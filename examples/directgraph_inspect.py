@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Inspect a DirectGraph image: page layout, sections, and security checks.
+
+Builds a small DirectGraph, dumps the layout of the first few pages,
+verifies address containment (Section VI-E), demonstrates scrubbing
+(Section VI-F), and reports storage inflation (Table IV).
+
+Run:  python examples/directgraph_inspect.py
+"""
+
+from repro.directgraph import (
+    DirectGraphReader,
+    FormatSpec,
+    PrimarySectionView,
+    build_directgraph,
+    decode_page,
+    verify_image,
+)
+from repro.gnn import DenseFeatureTable, power_law_graph
+from repro.ssd import Scrubber
+
+
+def main() -> None:
+    graph = power_law_graph(400, 60.0, seed=7)
+    features = DenseFeatureTable.random(graph.num_nodes, dim=32, seed=0)
+    spec = FormatSpec(page_size=4096, feature_dim=32)
+    image = build_directgraph(graph, features, spec)
+
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges "
+          f"(avg degree {graph.average_degree:.1f})")
+    print(f"image: {image.stats.num_primary_pages} primary + "
+          f"{image.stats.num_secondary_pages} secondary pages")
+    raw = graph.num_nodes * features.bytes_per_vector + graph.num_edges * 4
+    print(f"raw size {raw / 1024:.1f} KiB -> DirectGraph "
+          f"{image.stats.total_bytes / 1024:.1f} KiB "
+          f"(inflation {image.stats.inflation_vs_raw(raw) * 100:.1f}%)")
+
+    print("\nfirst three pages:")
+    for page_index in range(min(3, image.num_pages)):
+        decoded = decode_page(spec, image.page_bytes(page_index))
+        kind = "primary" if decoded.page_type == 1 else "secondary"
+        print(f"  page {page_index} ({kind}): {len(decoded.sections)} sections")
+        for i, section in enumerate(decoded.sections):
+            if isinstance(section, PrimarySectionView):
+                print(
+                    f"    [{i}] primary  node={section.node_id:5d} "
+                    f"degree={section.neighbor_count:4d} "
+                    f"inline={section.n_inline:4d} "
+                    f"secondaries={len(section.secondary_addrs)}"
+                )
+            else:
+                print(
+                    f"    [{i}] overflow node={section.node_id:5d} "
+                    f"entries={section.neighbor_count:4d}"
+                )
+
+    # navigation round-trip
+    reader = DirectGraphReader(image)
+    node = 42
+    assert reader.neighbors(node) == [int(x) for x in graph.neighbors(node)]
+    print(f"\nround-trip: node {node} neighbor list matches the source graph")
+
+    # Section VI-E: every embedded address stays inside the image's blocks
+    report = verify_image(image)
+    print(f"security verification: {'CLEAN' if report.ok else report.violations}")
+
+    # Section VI-F: scrubbing catches and repairs a retention error
+    scrubber = Scrubber(image, pages_per_block=4)
+    scrubber.inject_bit_error(0, byte_offset=512)
+    result = scrubber.scrub()
+    print(f"scrubbing: {result.errors_found} error found, "
+          f"block(s) {result.blocks_reprogrammed} re-programmed, "
+          f"page clean again: {scrubber.page_is_clean(0)}")
+
+
+if __name__ == "__main__":
+    main()

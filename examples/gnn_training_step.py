@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""End-to-end functional GNN step over DirectGraph-sampled subgraphs.
+
+Shows that the accelerated pipeline computes the *same embeddings* as a
+plain host-side GraphSage forward pass: in-storage sampling produces the
+exact reference subgraphs, and the vector_sum + perceptron model runs on
+the features read back from flash pages.
+
+Run:  python examples/gnn_training_step.py
+"""
+
+import numpy as np
+
+from repro.directgraph import DirectGraphReader, FormatSpec, build_directgraph
+from repro.gnn import (
+    DenseFeatureTable,
+    GnnModel,
+    power_law_graph,
+    sample_minibatch,
+)
+from repro.isc import GnnTaskConfig, run_in_storage_sampling
+
+
+def main() -> None:
+    dim, hidden, hops, fanout = 16, 32, 3, 3
+    graph = power_law_graph(1000, 20.0, seed=3)
+    features = DenseFeatureTable.random(graph.num_nodes, dim, seed=0)
+    model = GnnModel.random(dim, hidden, hops, seed=1)
+
+    spec = FormatSpec(page_size=4096, feature_dim=dim)
+    image = build_directgraph(graph, features, spec)
+    task = GnnTaskConfig(num_hops=hops, fanout=fanout, feature_dim=dim, seed=9)
+
+    targets = [3, 77, 512]
+
+    # --- path A: host-side reference ------------------------------------
+    ref_subgraphs = sample_minibatch(graph, targets, task.fanouts, seed=9)
+    ref_out = model.forward_minibatch(ref_subgraphs, features)
+
+    # --- path B: in-storage sampling + flash-resident features ----------
+    run = run_in_storage_sampling(image, task, targets)
+    reader = DirectGraphReader(image)
+
+    class FlashFeatures:
+        """Feature vectors decoded from the DirectGraph flash pages."""
+
+        num_nodes, dim = graph.num_nodes, features.dim
+
+        def vector(self, node: int) -> np.ndarray:
+            return reader.feature(node)
+
+    isc_subgraphs = [run.subgraphs[t] for t in targets]
+    isc_out = model.forward_minibatch(isc_subgraphs, FlashFeatures())
+
+    # --- identical results ------------------------------------------------
+    assert np.array_equal(ref_out, isc_out)
+    print(f"targets {targets}: embeddings identical across both paths")
+    print(f"embedding shape {isc_out.shape}, dtype {isc_out.dtype}")
+    print(f"in-storage page reads: {run.page_reads} "
+          f"({run.page_reads // len(targets)} per 40-position subgraph)")
+    print(f"channel traffic saved by on-die sampling: "
+          f"{run.channel_traffic_saving * 100:.1f}%")
+    print("\nfirst target embedding (first 8 dims):")
+    print(" ", np.array2string(isc_out[0][:8].astype(np.float32), precision=3))
+
+
+if __name__ == "__main__":
+    main()

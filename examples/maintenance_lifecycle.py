@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""DirectGraph maintenance over a device lifetime (Section VI-F + updates).
+
+Walks the long-running-device story: deploy a DirectGraph with growth
+slots, apply in-place edge additions, detect and repair a retention
+error by scrubbing, then — after regular-I/O churn wears the rest of the
+device — reclaim the DirectGraph onto fresh blocks with every embedded
+physical address rewritten.
+
+Run:  python examples/maintenance_lifecycle.py
+"""
+
+from repro.directgraph import (
+    DirectGraphReader,
+    DirectGraphUpdater,
+    FormatSpec,
+    build_directgraph,
+    verify_image,
+)
+from repro.gnn import DenseFeatureTable, power_law_graph
+from repro.ssd import FlashConfig, Ftl, Scrubber, WearReclaimer
+from repro.ssd.reliability import relocate_image
+
+
+def main() -> None:
+    # --- deploy with growth slots -------------------------------------------
+    graph = power_law_graph(300, 20.0, seed=5)
+    features = DenseFeatureTable.random(graph.num_nodes, 16, seed=0)
+    spec = FormatSpec(page_size=1024, feature_dim=16, growth_slots=2)
+    image = build_directgraph(graph, features, spec)
+
+    config = FlashConfig(page_size=1024, pages_per_block=8)
+    ftl = Ftl(config, total_blocks=256)
+    blocks_needed = -(-image.num_pages // ftl.pages_per_block) + 2  # spares
+    blocks = ftl.reserve_blocks(blocks_needed)
+    ppas = ftl.ppa_list(blocks)
+    image = relocate_image(
+        image, {i: ppas[i] for i in range(image.num_pages)}
+    )
+    spares = ppas[image.num_pages :]
+    print(f"deployed {image.num_pages} pages into {len(blocks)} reserved "
+          f"blocks ({len(spares)} spare pages for updates)")
+
+    # --- in-place edge additions -----------------------------------------------
+    updater = DirectGraphUpdater(image, spare_ppas=spares)
+    updater.add_neighbors(7, [100, 101, 102])
+    updater.add_neighbors(42, [5, 6])
+    stats = updater.stats
+    print(f"updates: {stats.edges_added} edges added, "
+          f"{stats.sections_extended} sections extended, "
+          f"{stats.sections_created} created "
+          f"({stats.growth_slots_consumed} growth slots used), "
+          f"{stats.pages_rewritten} pages re-programmed")
+    reader = DirectGraphReader(image)
+    assert reader.neighbors(7)[-3:] == [100, 101, 102]
+    assert verify_image(image).ok
+
+    # --- scrubbing repairs a retention error -------------------------------------
+    scrubber = Scrubber(image, pages_per_block=ftl.pages_per_block)
+    victim = image.page_plans[3].page_index
+    scrubber.inject_bit_error(victim, byte_offset=200)
+    report = scrubber.scrub()
+    print(f"scrub: {report.pages_checked} pages checked, "
+          f"{report.errors_found} error found, blocks "
+          f"{report.blocks_reprogrammed} re-programmed")
+    assert scrubber.page_is_clean(victim)
+
+    # --- wear reclamation after regular-I/O churn ---------------------------------
+    reclaimer = WearReclaimer(ftl, threshold=3)
+    churn = 0
+    while not reclaimer.should_reclaim():
+        ftl.write(churn % 50)
+        churn += 1
+    print(f"wear gap reached threshold after {churn} regular writes "
+          f"(gap = {ftl.wear_gap()} P/E cycles)")
+    new_image, new_blocks = reclaimer.reclaim(image, blocks)
+    print(f"reclaimed: DirectGraph migrated to blocks "
+          f"{new_blocks[0]}..{new_blocks[-1]}; old blocks rejoined the FTL")
+
+    # everything still reads correctly at the new physical locations
+    reader = DirectGraphReader(new_image)
+    expected = [int(x) for x in graph.neighbors(7)] + [100, 101, 102]
+    assert reader.neighbors(7) == expected
+    assert verify_image(new_image).ok
+    print("verified: updated + scrubbed + relocated DirectGraph intact")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Section VIII extensions: storage arrays and real-time GNN queries.
+
+Part 1 scales a BeaconGNN array from 1 to 8 SSDs and reports the
+near-linear throughput growth the paper projects. Part 2 measures
+small-batch inference latency, where BeaconGNN's single host round trip
+shines against the CPU-centric baseline.
+
+Run:  python examples/scaleout_and_queries.py
+"""
+
+from repro.bench import format_table
+from repro.platforms import (
+    PreparedWorkload,
+    measure_query_latency,
+    run_scaleout,
+)
+from repro.workloads import workload_by_name
+
+
+def main() -> None:
+    prepared = PreparedWorkload.prepare(workload_by_name("amazon").scaled(2048))
+
+    # --- Part 1: computational storage array ---------------------------------
+    rows = []
+    single = None
+    for devices in (1, 2, 4, 8):
+        array = run_scaleout(
+            devices, "bg2", prepared, batch_size=64, num_batches=2,
+            cross_partition_fraction=0.1,
+        )
+        if single is None:
+            single = array
+        rows.append(
+            (
+                devices,
+                f"{array.throughput_targets_per_sec:,.0f}",
+                round(array.scaling_efficiency(single), 2),
+                round(array.p2p_seconds_per_batch * 1e6, 1),
+            )
+        )
+    print(
+        format_table(
+            ["SSDs", "targets/s", "scaling efficiency", "P2P us/batch"],
+            rows,
+            title="BeaconGNN array scale-out (amazon, 10% cross-partition)",
+        )
+    )
+
+    # --- Part 2: GNN query latency -------------------------------------------
+    print()
+    rows = []
+    for platform in ("cc", "bg1", "bg2"):
+        result = measure_query_latency(
+            platform, prepared, num_queries=5, batch_size=1
+        )
+        rows.append(
+            (
+                platform,
+                round(result.mean_s * 1e6, 1),
+                round(result.p99_s * 1e6, 1),
+            )
+        )
+    print(
+        format_table(
+            ["platform", "mean latency (us)", "p99 latency (us)"],
+            rows,
+            title="Single-query (batch=1) inference latency",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

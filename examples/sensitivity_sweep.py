@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Sweep one architecture knob across platforms (a slice of Figure 18).
+
+Run:  python examples/sensitivity_sweep.py [knob]
+      knobs: bandwidth | cores | channels | dies | batch | pagesize
+"""
+
+import sys
+
+from repro.bench import format_table
+from repro.platforms import PreparedWorkload, run_platform
+from repro.ssd import ull_ssd
+from repro.workloads import workload_by_name
+
+PLATFORMS = ["bg1", "bg_dgsp", "bg2"]
+
+SWEEPS = {
+    "bandwidth": [
+        (f"{v} MB/s", ull_ssd().with_flash(channel_bandwidth_bps=v * 1e6), {})
+        for v in (333, 800, 1600, 2400)
+    ],
+    "cores": [
+        (f"{v} cores", ull_ssd().with_firmware(num_cores=v), {})
+        for v in (1, 2, 4, 8)
+    ],
+    "channels": [
+        (f"{v} ch", ull_ssd().with_flash(num_channels=v), {})
+        for v in (4, 8, 16, 32)
+    ],
+    "dies": [
+        (f"{v} dies/ch", ull_ssd().with_flash(dies_per_channel=v), {})
+        for v in (2, 4, 8, 16)
+    ],
+    "batch": [
+        (f"batch {v}", None, {"batch_size": v}) for v in (32, 64, 128, 256)
+    ],
+    "pagesize": [
+        (f"{v} B", ull_ssd().with_flash(page_size=v), {})
+        for v in (2048, 4096, 8192)
+    ],
+}
+
+
+def main() -> None:
+    knob = sys.argv[1] if len(sys.argv) > 1 else "cores"
+    if knob not in SWEEPS:
+        raise SystemExit(f"unknown knob {knob!r}; choose from {sorted(SWEEPS)}")
+
+    spec = workload_by_name("amazon").scaled(2048)
+    prepared_cache = {}
+
+    rows = []
+    for label, config, extra in SWEEPS[knob]:
+        page_size = config.flash.page_size if config else 4096
+        if page_size not in prepared_cache:
+            prepared_cache[page_size] = PreparedWorkload.prepare(
+                spec, page_size=page_size
+            )
+        row = [label]
+        for platform in PLATFORMS:
+            kwargs = dict(batch_size=32, num_batches=2)
+            kwargs.update(extra)
+            result = run_platform(
+                platform, prepared_cache[page_size], ssd_config=config, **kwargs
+            )
+            row.append(f"{result.throughput_targets_per_sec:,.0f}")
+        rows.append(row)
+        print(f"  simulated {label}")
+
+    print()
+    print(
+        format_table(
+            [knob] + [f"{p} targets/s" for p in PLATFORMS],
+            rows,
+            title=f"Figure 18-style sweep: {knob} (amazon)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""BeaconGNN (HPCA 2024) reproduction.
+
+An event-driven, cycle-level model of out-of-order streaming in-storage GNN
+acceleration: the DirectGraph flash-native graph format, die-level samplers,
+channel-level command routers, a bus-attached spatial accelerator, and the
+six evaluated platform variants (CC, BG-1, BG-DG, BG-SP, BG-DGSP, BG-2) plus
+the two prior-work baselines (GLIST, SmartSage).
+
+Quickstart::
+
+    from repro import run_platform, workload_by_name
+    result = run_platform("bg2", workload_by_name("amazon").scaled(4096))
+    print(result.throughput_targets_per_sec)
+"""
+
+__version__ = "1.0.0"
+
+from .workloads import WORKLOADS, WorkloadSpec, workload_by_name  # noqa: F401
+from .platforms import PLATFORMS, run_platform  # noqa: F401
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadSpec",
+    "workload_by_name",
+    "PLATFORMS",
+    "run_platform",
+    "__version__",
+]

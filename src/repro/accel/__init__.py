@@ -1,0 +1,20 @@
+"""Spatial accelerator timing models (1-D vector + 2-D systolic arrays)."""
+
+from .mapper import AcceleratorSpec, ComputePlan, LayerCost, map_minibatch
+from .presets import discrete_accelerator, ssd_accelerator
+from .systolic import Dataflow, GemmCost, SystolicArray
+from .vector import AggregateCost, VectorArray
+
+__all__ = [
+    "SystolicArray",
+    "Dataflow",
+    "GemmCost",
+    "VectorArray",
+    "AggregateCost",
+    "AcceleratorSpec",
+    "LayerCost",
+    "ComputePlan",
+    "map_minibatch",
+    "ssd_accelerator",
+    "discrete_accelerator",
+]

@@ -1,0 +1,119 @@
+"""Mapping GNN mini-batch computation onto a spatial accelerator.
+
+Combines the 1-D vector array (aggregation) and 2-D systolic array (GEMM
+update) costs over the per-layer :class:`~repro.gnn.model.ComputeShape`
+list, and accounts the SRAM/DRAM traffic the computation induces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..gnn.model import ComputeShape
+from .systolic import SystolicArray
+from .vector import VectorArray
+
+__all__ = ["AcceleratorSpec", "LayerCost", "ComputePlan", "map_minibatch"]
+
+FP16_BYTES = 2
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One spatial accelerator: arrays, clock, and local SRAM."""
+
+    name: str
+    systolic_rows: int
+    systolic_cols: int
+    vector_lanes: int
+    freq_hz: float
+    sram_bytes: int
+    mac_energy_pj: float = 0.6  # per FP16 MAC, 32 nm-scaled
+    add_energy_pj: float = 0.25  # per FP16 vector add
+    sram_energy_pj_per_byte: float = 0.08
+
+    def systolic(self) -> SystolicArray:
+        return SystolicArray(self.systolic_rows, self.systolic_cols, self.freq_hz)
+
+    def vector(self) -> VectorArray:
+        return VectorArray(self.vector_lanes, self.freq_hz)
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    layer: int
+    aggregate_seconds: float
+    gemm_seconds: float
+    macs: int
+    adds: int
+    input_bytes: int
+    weight_bytes: int
+    output_bytes: int
+
+    @property
+    def seconds(self) -> float:
+        # aggregation feeds the GEMM; within a layer they serialize
+        return self.aggregate_seconds + self.gemm_seconds
+
+
+@dataclass(frozen=True)
+class ComputePlan:
+    """Total compute cost for one mini-batch on one accelerator."""
+
+    accelerator: str
+    layers: List[LayerCost]
+
+    @property
+    def seconds(self) -> float:
+        return sum(l.seconds for l in self.layers)
+
+    @property
+    def macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def adds(self) -> int:
+        return sum(l.adds for l in self.layers)
+
+    @property
+    def dram_traffic_bytes(self) -> int:
+        """Bytes moved accelerator<->DRAM: inputs in, outputs out; weights
+        are resident in SRAM after the first load (excluded here, they are
+        sent once per task, not per batch)."""
+        return sum(l.input_bytes + l.output_bytes for l in self.layers)
+
+    def energy_joules(self, spec: AcceleratorSpec) -> float:
+        compute = self.macs * spec.mac_energy_pj + self.adds * spec.add_energy_pj
+        sram = sum(
+            (l.input_bytes + l.weight_bytes + l.output_bytes)
+            * spec.sram_energy_pj_per_byte
+            for l in self.layers
+        )
+        return (compute + sram) * 1e-12
+
+
+def map_minibatch(
+    spec: AcceleratorSpec, shapes: Sequence[ComputeShape]
+) -> ComputePlan:
+    """Cost a mini-batch's per-layer shapes on the given accelerator."""
+    systolic = spec.systolic()
+    vector = spec.vector()
+    layers: List[LayerCost] = []
+    for shape in shapes:
+        m, k, n = shape.gemm
+        gemm = systolic.gemm(m, k, n)
+        agg = vector.aggregate(shape.agg_vectors, k)
+        layers.append(
+            LayerCost(
+                layer=shape.layer,
+                aggregate_seconds=agg.seconds,
+                gemm_seconds=gemm.seconds,
+                macs=gemm.macs,
+                adds=agg.adds,
+                input_bytes=m * k * FP16_BYTES,
+                weight_bytes=k * n * FP16_BYTES,
+                output_bytes=m * n * FP16_BYTES,
+            )
+        )
+    return ComputePlan(accelerator=spec.name, layers=layers)

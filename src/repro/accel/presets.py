@@ -1,0 +1,36 @@
+"""Accelerator presets (our Table II).
+
+* ``ssd_accelerator`` — sized to SSD-controller resource budgets (the
+  paper cites DeepStore-class constraints): a 32x32 systolic array plus a
+  64-lane vector unit at 500 MHz with 4 MB of SRAM.
+* ``discrete_accelerator`` — a server-scale TPU-like device on PCIe
+  (the CC baseline's compute): 128x128 at 700 MHz, 24 MB SRAM.
+"""
+
+from __future__ import annotations
+
+from .mapper import AcceleratorSpec
+
+__all__ = ["ssd_accelerator", "discrete_accelerator"]
+
+
+def ssd_accelerator() -> AcceleratorSpec:
+    return AcceleratorSpec(
+        name="ssd-spatial",
+        systolic_rows=32,
+        systolic_cols=32,
+        vector_lanes=64,
+        freq_hz=500e6,
+        sram_bytes=4 * 1024 * 1024,
+    )
+
+
+def discrete_accelerator() -> AcceleratorSpec:
+    return AcceleratorSpec(
+        name="discrete-tpu",
+        systolic_rows=128,
+        systolic_cols=128,
+        vector_lanes=512,
+        freq_hz=700e6,
+        sram_bytes=24 * 1024 * 1024,
+    )

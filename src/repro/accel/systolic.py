@@ -1,0 +1,107 @@
+"""Analytic 2-D systolic-array timing (ScaleSim-style, Section V-C).
+
+The paper models both the SSD-internal spatial accelerator and the
+discrete TPU-like accelerator with ScaleSim-2.0. We reproduce ScaleSim's
+analytic per-dataflow costs for a GEMM of shape (M, K, N):
+
+* **output-stationary (OS)** — ``ceil(M/R) x ceil(N/C)`` output tiles;
+  each tile streams K partial-sum steps plus the ``R + C - 2`` fill/drain
+  skew;
+* **weight-stationary (WS)** — ``ceil(K/R) x ceil(N/C)`` weight tiles;
+  each tile loads R rows of weights, then streams M activations plus
+  skew;
+* **input-stationary (IS)** — symmetric to WS with inputs pinned:
+  ``ceil(K/R) x ceil(M/C)`` tiles streaming N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Dataflow", "SystolicArray", "GemmCost"]
+
+
+class Dataflow(Enum):
+    OUTPUT_STATIONARY = "os"
+    WEIGHT_STATIONARY = "ws"
+    INPUT_STATIONARY = "is"
+
+
+@dataclass(frozen=True)
+class GemmCost:
+    """Cycle/energy-relevant accounting for one GEMM."""
+
+    m: int
+    k: int
+    n: int
+    tiles: int
+    cycles: int
+    macs: int
+    seconds: float
+
+    @property
+    def utilization(self) -> float:
+        """Achieved MACs over peak MACs during the busy window."""
+        return 0.0 if self.cycles == 0 else min(1.0, self.macs / (self.cycles * self._peak))
+
+    # populated by SystolicArray.gemm
+    _peak: int = 1
+
+
+class SystolicArray:
+    """An ``rows x cols`` MAC array clocked at ``freq_hz``."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        freq_hz: float,
+        dataflow: Dataflow = Dataflow.OUTPUT_STATIONARY,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        if freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.freq_hz = float(freq_hz)
+        self.dataflow = dataflow
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.rows * self.cols
+
+    def _tiles(self, m: int, k: int, n: int) -> tuple:
+        """(tile count, streamed steps per tile) for the dataflow."""
+        ceil = lambda a, b: -(-a // b)
+        if self.dataflow is Dataflow.OUTPUT_STATIONARY:
+            return ceil(m, self.rows) * ceil(n, self.cols), k
+        if self.dataflow is Dataflow.WEIGHT_STATIONARY:
+            return ceil(k, self.rows) * ceil(n, self.cols), m
+        return ceil(k, self.rows) * ceil(m, self.cols), n
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> int:
+        """Cycles for an (M,K,N) GEMM under the configured dataflow."""
+        if min(m, k, n) < 0:
+            raise ValueError("GEMM dims must be non-negative")
+        if m == 0 or k == 0 or n == 0:
+            return 0
+        tiles, streamed = self._tiles(m, k, n)
+        per_tile = streamed + self.rows + self.cols - 2
+        return tiles * per_tile
+
+    def gemm(self, m: int, k: int, n: int) -> GemmCost:
+        cycles = self.gemm_cycles(m, k, n)
+        tiles = self._tiles(m, k, n)[0] if cycles else 0
+        cost = GemmCost(
+            m=m,
+            k=k,
+            n=n,
+            tiles=tiles,
+            cycles=cycles,
+            macs=m * k * n,
+            seconds=cycles / self.freq_hz,
+            _peak=self.peak_macs_per_cycle,
+        )
+        return cost

@@ -1,0 +1,54 @@
+"""1-D vector array for embedding aggregation (Section V-C).
+
+The SSD-internal spatial accelerator pairs the systolic array with a 1-D
+vector unit that performs the ``vector_sum`` aggregation: element-wise
+adds over sampled neighbor embeddings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VectorArray", "AggregateCost"]
+
+
+@dataclass(frozen=True)
+class AggregateCost:
+    vectors: int
+    dim: int
+    cycles: int
+    adds: int
+    seconds: float
+
+
+class VectorArray:
+    """A ``lanes``-wide SIMD add unit clocked at ``freq_hz``."""
+
+    def __init__(self, lanes: int, freq_hz: float) -> None:
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.lanes = lanes
+        self.freq_hz = float(freq_hz)
+
+    def aggregate_cycles(self, vectors: int, dim: int) -> int:
+        """Cycles to accumulate ``vectors`` embeddings of length ``dim``.
+
+        Each vector contributes one element-wise add of ``dim`` lanes'
+        worth of work; the unit retires ``lanes`` adds per cycle.
+        """
+        if vectors < 0 or dim < 0:
+            raise ValueError("vectors and dim must be non-negative")
+        total_adds = vectors * dim
+        return -(-total_adds // self.lanes) if total_adds else 0
+
+    def aggregate(self, vectors: int, dim: int) -> AggregateCost:
+        cycles = self.aggregate_cycles(vectors, dim)
+        return AggregateCost(
+            vectors=vectors,
+            dim=dim,
+            cycles=cycles,
+            adds=vectors * dim,
+            seconds=cycles / self.freq_hz,
+        )

@@ -1,0 +1,14 @@
+"""Benchmark-harness utilities (tables, normalization, export)."""
+
+from .export import result_to_dict, write_json, write_series_csv
+from .tables import format_series, format_table, geomean, normalize
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "geomean",
+    "normalize",
+    "result_to_dict",
+    "write_json",
+    "write_series_csv",
+]

@@ -1,0 +1,67 @@
+"""ASCII table / series formatting for benchmark output."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "geomean", "normalize"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_series(
+    label: str, xs: Sequence[float], ys: Sequence[float], width: int = 40
+) -> str:
+    """A crude inline bar chart for time-series (utilization plots)."""
+    if not ys:
+        return f"{label}: (empty)"
+    peak = max(ys) or 1.0
+    lines = [label]
+    for x, y in zip(xs, ys):
+        bar = "#" * int(round(width * y / peak))
+        lines.append(f"  {x:10.3g} | {bar} {y:.2f}")
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalize(values: Dict[str, float], baseline: str) -> Dict[str, float]:
+    base = values[baseline]
+    if base <= 0:
+        raise ValueError(f"baseline {baseline!r} is non-positive")
+    return {k: v / base for k, v in values.items()}

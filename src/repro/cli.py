@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``run``      simulate one platform on one workload
+``compare``  run all platforms on one workload (mini Figure 14)
+``sweep``    sweep one architecture knob (a Figure 18 slice)
+``inflate``  DirectGraph storage-inflation report (Table IV)
+``info``     print the Table II configuration and platform list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import format_table
+from .platforms import (
+    PLATFORMS,
+    PreparedWorkload,
+    platform_by_name,
+    run_platform,
+)
+from .ssd import traditional_ssd, ull_ssd
+from .workloads import WORKLOADS, workload_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BeaconGNN (HPCA 2024) reproduction simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one platform on one workload")
+    run.add_argument("platform", help=f"one of {sorted(PLATFORMS)}")
+    run.add_argument("workload", help=f"one of {sorted(WORKLOADS)}")
+    _common_run_args(run)
+
+    compare = sub.add_parser("compare", help="all platforms on one workload")
+    compare.add_argument("workload", help=f"one of {sorted(WORKLOADS)}")
+    _common_run_args(compare)
+
+    sweep = sub.add_parser("sweep", help="sweep one architecture knob")
+    sweep.add_argument(
+        "knob",
+        choices=["bandwidth", "cores", "channels", "dies", "batch"],
+    )
+    sweep.add_argument("--workload", default="amazon")
+    sweep.add_argument(
+        "--platforms", default="bg1,bg_dgsp,bg2", help="comma-separated names"
+    )
+    _common_run_args(sweep)
+
+    inflate = sub.add_parser("inflate", help="Table IV inflation report")
+    inflate.add_argument("--nodes", type=int, default=60_000)
+
+    sub.add_parser("info", help="configuration + platform list")
+    return parser
+
+
+def _common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=2048, help="scaled node count")
+    parser.add_argument("--batch", type=int, default=32)
+    parser.add_argument("--batches", type=int, default=2)
+    parser.add_argument("--hops", type=int, default=3)
+    parser.add_argument("--fanout", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--traditional", action="store_true", help="20us-read flash (Sec VII-E)"
+    )
+
+
+def _config(args) -> object:
+    return traditional_ssd() if getattr(args, "traditional", False) else ull_ssd()
+
+
+def _prepare(args, workload_name: str) -> PreparedWorkload:
+    spec = workload_by_name(workload_name).scaled(args.nodes)
+    return PreparedWorkload.prepare(spec)
+
+
+def _run_one(args, platform: str, prepared: PreparedWorkload):
+    return run_platform(
+        platform,
+        prepared,
+        ssd_config=_config(args),
+        batch_size=args.batch,
+        num_batches=args.batches,
+        num_hops=args.hops,
+        fanout=args.fanout,
+        seed=args.seed,
+    )
+
+
+def cmd_run(args) -> int:
+    prepared = _prepare(args, args.workload)
+    result = _run_one(args, platform_by_name(args.platform).name, prepared)
+    rows = [
+        ("throughput (targets/s)", f"{result.throughput_targets_per_sec:,.0f}"),
+        ("mean prep (us)", round(result.mean_prep_seconds * 1e6, 1)),
+        ("mean compute (us)", round(result.mean_compute_seconds * 1e6, 1)),
+        ("active dies", round(result.mean_active_dies(), 1)),
+        ("active channels", round(result.mean_active_channels(), 2)),
+        ("hop overlap", round(result.hop_timeline.overlap_fraction(), 2)),
+        ("targets/J", f"{result.meters.get('targets_per_joule'):,.0f}"),
+        ("avg power (W)", round(result.meters.get("energy_watts"), 1)),
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.platform} on {args.workload} ({args.nodes} nodes)",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    prepared = _prepare(args, args.workload)
+    rows = []
+    base = None
+    for name in PLATFORMS:
+        result = _run_one(args, name, prepared)
+        thr = result.throughput_targets_per_sec
+        if base is None:
+            base = thr
+        rows.append(
+            (name, f"{thr:,.0f}", round(thr / base, 2),
+             round(result.mean_prep_seconds * 1e6, 1))
+        )
+    print(
+        format_table(
+            ["platform", "targets/s", "x CC", "prep (us)"],
+            rows,
+            title=f"all platforms on {args.workload}",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    platforms = [platform_by_name(p).name for p in args.platforms.split(",")]
+    base = ull_ssd()
+    variants = {
+        "bandwidth": [
+            (f"{v}MB/s", base.with_flash(channel_bandwidth_bps=v * 1e6), {})
+            for v in (333, 800, 1600, 2400)
+        ],
+        "cores": [
+            (f"{v}", base.with_firmware(num_cores=v), {}) for v in (1, 2, 4, 8)
+        ],
+        "channels": [
+            (f"{v}", base.with_flash(num_channels=v), {}) for v in (4, 8, 16, 32)
+        ],
+        "dies": [
+            (f"{v}", base.with_flash(dies_per_channel=v), {})
+            for v in (2, 4, 8, 16)
+        ],
+        "batch": [(f"{v}", None, {"batch_size": v}) for v in (32, 64, 128, 256)],
+    }[args.knob]
+    prepared = _prepare(args, args.workload)
+    rows = []
+    for label, config, extra in variants:
+        row = [label]
+        for platform in platforms:
+            kwargs = dict(
+                batch_size=args.batch, num_batches=args.batches,
+                num_hops=args.hops, fanout=args.fanout, seed=args.seed,
+            )
+            kwargs.update(extra)
+            result = run_platform(
+                platform, prepared, ssd_config=config, **kwargs
+            )
+            row.append(f"{result.throughput_targets_per_sec:,.0f}")
+        rows.append(row)
+    print(
+        format_table(
+            [args.knob] + [f"{p} targets/s" for p in platforms],
+            rows,
+            title=f"sweep {args.knob} on {args.workload}",
+        )
+    )
+    return 0
+
+
+def cmd_inflate(args) -> int:
+    from .directgraph import AddressCodec, FormatSpec, build_directgraph
+
+    rows = []
+    for name, spec in WORKLOADS.items():
+        graph = spec.scaled(args.nodes).build_graph()
+        fmt = FormatSpec(
+            page_size=4096,
+            feature_dim=spec.feature_dim,
+            codec=AddressCodec.for_geometry(1 << 40, 4096),
+        )
+        image = build_directgraph(graph, None, fmt, serialize=False)
+        raw = graph.num_nodes * spec.feature_bytes + graph.num_edges * 4
+        rows.append(
+            (
+                name,
+                round(spec.raw_size_gb, 1),
+                round(100 * image.stats.inflation_vs_raw(raw), 1),
+            )
+        )
+    print(
+        format_table(
+            ["workload", "raw GB (full scale)", "inflation %"],
+            rows,
+            title=f"Table IV: DirectGraph inflation ({args.nodes}-node sample)",
+        )
+    )
+    return 0
+
+
+def cmd_info(args) -> int:
+    cfg = ull_ssd()
+    print("Table II configuration:")
+    print(f"  flash: {cfg.flash.num_channels} channels x "
+          f"{cfg.flash.dies_per_channel} dies, {cfg.flash.page_size} B pages, "
+          f"{cfg.flash.read_latency_s * 1e6:.0f} us reads, "
+          f"{cfg.flash.channel_bandwidth_bps / 1e6:.0f} MB/s channels")
+    print(f"  controller: {cfg.firmware.num_cores} cores, "
+          f"DRAM {cfg.dram.bandwidth_bps / 1e9:.1f} GB/s, "
+          f"PCIe {cfg.pcie.bandwidth_bps / 1e9:.1f} GB/s")
+    print("\nplatforms:")
+    for name, platform in PLATFORMS.items():
+        print(f"  {name:10s} {platform.description}")
+    print("\nworkloads:")
+    for name, spec in WORKLOADS.items():
+        print(f"  {name:10s} degree {spec.avg_degree:6.0f}, "
+              f"feature dim {spec.feature_dim:4d}, "
+              f"raw {spec.raw_size_gb:6.1f} GB")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "sweep": cmd_sweep,
+        "inflate": cmd_inflate,
+        "info": cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

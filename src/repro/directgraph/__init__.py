@@ -1,0 +1,62 @@
+"""DirectGraph: the flash-physical-address GNN format (Section IV)."""
+
+from .address import ADDRESS_BYTES, AddressCodec, SectionAddress
+from .builder import (
+    BuildStats,
+    DirectGraphImage,
+    NodePlan,
+    PagePlan,
+    build_directgraph,
+)
+from .reader import (
+    DecodedPage,
+    DirectGraphFormatError,
+    DirectGraphReader,
+    PrimarySectionView,
+    SecondarySectionView,
+    decode_page,
+    decode_section,
+)
+from .security import VerificationReport, Violation, verify_image, verify_targets
+from .updates import DirectGraphUpdater, UpdateCapacityError, UpdateStats
+from .spec import (
+    FormatSpec,
+    PAGE_TYPE_PRIMARY,
+    PAGE_TYPE_SECONDARY,
+    PRIMARY_HEADER_BYTES,
+    SECONDARY_HEADER_BYTES,
+    SECTION_TYPE_PRIMARY,
+    SECTION_TYPE_SECONDARY,
+)
+
+__all__ = [
+    "AddressCodec",
+    "SectionAddress",
+    "ADDRESS_BYTES",
+    "FormatSpec",
+    "PAGE_TYPE_PRIMARY",
+    "PAGE_TYPE_SECONDARY",
+    "SECTION_TYPE_PRIMARY",
+    "SECTION_TYPE_SECONDARY",
+    "PRIMARY_HEADER_BYTES",
+    "SECONDARY_HEADER_BYTES",
+    "build_directgraph",
+    "DirectGraphImage",
+    "NodePlan",
+    "PagePlan",
+    "BuildStats",
+    "DirectGraphReader",
+    "DirectGraphFormatError",
+    "decode_page",
+    "decode_section",
+    "DecodedPage",
+    "PrimarySectionView",
+    "SecondarySectionView",
+    "verify_image",
+    "verify_targets",
+    "VerificationReport",
+    "Violation",
+    "DirectGraphUpdater",
+    "UpdateCapacityError",
+    "UpdateStats",
+]

@@ -1,0 +1,235 @@
+"""Decoding DirectGraph pages and sections.
+
+The decoder is shared by the host-side verification path (round-trip tests
+against the source graph) and by the die-level sampler model, which operates
+on exactly these page bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .address import ADDRESS_BYTES, SectionAddress
+from .builder import DirectGraphImage
+from .spec import (
+    FormatSpec,
+    PRIMARY_HEADER_BYTES,
+    SECONDARY_HEADER_BYTES,
+    SECTION_TYPE_PRIMARY,
+    SECTION_TYPE_SECONDARY,
+)
+
+__all__ = [
+    "PrimarySectionView",
+    "SecondarySectionView",
+    "DecodedPage",
+    "decode_page",
+    "decode_section",
+    "DirectGraphReader",
+]
+
+
+@dataclass
+class PrimarySectionView:
+    """A decoded primary section."""
+
+    node_id: int
+    neighbor_count: int  # full degree, including secondary-resident entries
+    n_inline: int
+    secondary_addrs: List[SectionAddress]
+    feature_bytes: bytes
+    inline_neighbor_addrs: List[SectionAddress]
+    section_len: int
+    growth_slots_free: int = 0  # unused reserved secondary slots
+
+    @property
+    def type(self) -> int:
+        return SECTION_TYPE_PRIMARY
+
+    def feature_vector(self, dim: int) -> np.ndarray:
+        return np.frombuffer(self.feature_bytes, dtype=np.float16, count=dim)
+
+
+@dataclass
+class SecondarySectionView:
+    """A decoded secondary (overflow neighbor list) section."""
+
+    node_id: int
+    neighbor_count: int  # entries in this section only
+    neighbor_addrs: List[SectionAddress]
+    section_len: int
+
+    @property
+    def type(self) -> int:
+        return SECTION_TYPE_SECONDARY
+
+
+SectionView = Union[PrimarySectionView, SecondarySectionView]
+
+
+@dataclass
+class DecodedPage:
+    page_type: int
+    sections: List[SectionView]
+
+
+class DirectGraphFormatError(ValueError):
+    """Raised when page bytes violate the DirectGraph layout."""
+
+
+def _section_offset(spec: FormatSpec, raw: bytes, index: int) -> int:
+    n_sections = raw[1]
+    if not (0 <= index < n_sections):
+        raise DirectGraphFormatError(
+            f"section index {index} out of range (page has {n_sections})"
+        )
+    at = 2 + 2 * index
+    offset = int.from_bytes(raw[at : at + 2], "little")
+    if offset < spec.page_header_bytes or offset >= spec.page_size:
+        raise DirectGraphFormatError(f"corrupt section offset {offset}")
+    return offset
+
+
+def decode_section(spec: FormatSpec, raw: bytes, index: int) -> SectionView:
+    """Decode section ``index`` of a page (as the section iterator does).
+
+    Any malformed content raises :class:`DirectGraphFormatError` — never a
+    bare slicing/conversion error — so callers can treat all corruption
+    uniformly (the on-die checker turns it into a SamplerFault).
+    """
+    try:
+        return _decode_section_unchecked(spec, raw, index)
+    except DirectGraphFormatError:
+        raise
+    except (ValueError, IndexError) as err:
+        raise DirectGraphFormatError(f"corrupt section {index}: {err}")
+
+
+def _decode_section_unchecked(
+    spec: FormatSpec, raw: bytes, index: int
+) -> SectionView:
+    if len(raw) != spec.page_size:
+        raise DirectGraphFormatError(
+            f"page must be {spec.page_size} B, got {len(raw)}"
+        )
+    at = _section_offset(spec, raw, index)
+    stype = raw[at]
+    if stype == SECTION_TYPE_PRIMARY:
+        growth_free = raw[at + 1]
+        size = int.from_bytes(raw[at + 2 : at + 4], "little")
+        node_id = int.from_bytes(raw[at + 4 : at + 8], "little")
+        neighbor_count = int.from_bytes(raw[at + 8 : at + 12], "little")
+        n_secondary = int.from_bytes(raw[at + 12 : at + 14], "little")
+        n_inline = int.from_bytes(raw[at + 14 : at + 16], "little")
+        cursor = at + PRIMARY_HEADER_BYTES
+        sec_addrs = []
+        for _ in range(n_secondary):
+            sec_addrs.append(spec.codec.unpack_bytes(bytes(raw[cursor : cursor + 4])))
+            cursor += 4
+        cursor += ADDRESS_BYTES * growth_free  # skip reserved (null) slots
+        feature = bytes(raw[cursor : cursor + spec.feature_bytes])
+        cursor += spec.feature_bytes
+        inline = []
+        for _ in range(n_inline):
+            inline.append(spec.codec.unpack_bytes(bytes(raw[cursor : cursor + 4])))
+            cursor += 4
+        if cursor - at != size:
+            raise DirectGraphFormatError(
+                f"primary section length mismatch: header says {size}, "
+                f"decoded {cursor - at}"
+            )
+        return PrimarySectionView(
+            node_id=node_id,
+            neighbor_count=neighbor_count,
+            n_inline=n_inline,
+            secondary_addrs=sec_addrs,
+            feature_bytes=feature,
+            inline_neighbor_addrs=inline,
+            section_len=size,
+            growth_slots_free=growth_free,
+        )
+    if stype == SECTION_TYPE_SECONDARY:
+        size = int.from_bytes(raw[at + 2 : at + 4], "little")
+        node_id = int.from_bytes(raw[at + 4 : at + 8], "little")
+        count = int.from_bytes(raw[at + 8 : at + 10], "little")
+        cursor = at + SECONDARY_HEADER_BYTES
+        addrs = []
+        for _ in range(count):
+            addrs.append(spec.codec.unpack_bytes(bytes(raw[cursor : cursor + 4])))
+            cursor += 4
+        if cursor - at != size:
+            raise DirectGraphFormatError(
+                f"secondary section length mismatch: header says {size}, "
+                f"decoded {cursor - at}"
+            )
+        return SecondarySectionView(
+            node_id=node_id,
+            neighbor_count=count,
+            neighbor_addrs=addrs,
+            section_len=size,
+        )
+    raise DirectGraphFormatError(f"unknown section type {stype}")
+
+
+def decode_page(spec: FormatSpec, raw: bytes) -> DecodedPage:
+    if len(raw) != spec.page_size:
+        raise DirectGraphFormatError(
+            f"page must be {spec.page_size} B, got {len(raw)}"
+        )
+    n_sections = raw[1]
+    if n_sections > spec.max_sections_per_page:
+        raise DirectGraphFormatError(
+            f"page claims {n_sections} sections, max is "
+            f"{spec.max_sections_per_page}"
+        )
+    sections = [decode_section(spec, raw, i) for i in range(n_sections)]
+    return DecodedPage(page_type=raw[0], sections=sections)
+
+
+class DirectGraphReader:
+    """Host-side navigation over a serialized image (verification path)."""
+
+    def __init__(self, image: DirectGraphImage) -> None:
+        if not image.serialized:
+            raise ValueError("reader requires a serialized image")
+        self.image = image
+        self.spec = image.spec
+
+    def section_at(self, addr: SectionAddress) -> SectionView:
+        raw = self.image.page_bytes(addr.page)
+        return decode_section(self.spec, raw, addr.section)
+
+    def primary_section(self, node: int) -> PrimarySectionView:
+        view = self.section_at(self.image.address_of(node))
+        if not isinstance(view, PrimarySectionView):
+            raise DirectGraphFormatError(f"node {node} address is not primary")
+        return view
+
+    def neighbors(self, node: int) -> List[int]:
+        """Full neighbor list of a node as node ids, in storage order.
+
+        Walks the primary section, then every secondary section — exactly
+        the read pattern Section IV-A describes.
+        """
+        primary = self.primary_section(node)
+        addrs = list(primary.inline_neighbor_addrs)
+        for sec_addr in primary.secondary_addrs:
+            sec = self.section_at(sec_addr)
+            if not isinstance(sec, SecondarySectionView):
+                raise DirectGraphFormatError(
+                    f"secondary address of node {node} points to a "
+                    f"non-secondary section"
+                )
+            addrs.extend(sec.neighbor_addrs)
+        if len(addrs) != primary.neighbor_count:
+            raise DirectGraphFormatError(
+                f"node {node}: header count {primary.neighbor_count} != "
+                f"{len(addrs)} stored entries"
+            )
+        return [self.image.node_at(a) for a in addrs]
+
+    def feature(self, node: int) -> np.ndarray:
+        return self.primary_section(node).feature_vector(self.spec.feature_dim)

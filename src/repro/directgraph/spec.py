@@ -1,0 +1,119 @@
+"""On-flash binary layout constants for DirectGraph (Figure 8).
+
+Page layout
+-----------
+::
+
+    byte 0              page type (1 = primary, 2 = secondary)
+    byte 1              section count
+    bytes 2..2+2*S      u16 section offset table (S = max sections per page)
+    ...                 sections, back to back
+
+Primary section
+---------------
+::
+
+    u8  type (1)           u8  flags (reserved)
+    u16 section length     u32 node id
+    u32 neighbor count     u16 secondary count
+    u16 inline neighbors
+    [secondary count x u32 secondary-section addresses]
+    [feature vector: feature_dim x 2 bytes FP16]
+    [inline neighbors x u32 neighbor primary-section addresses]
+
+Secondary section
+-----------------
+::
+
+    u8  type (2)           u8  flags (reserved)
+    u16 section length     u32 node id
+    u16 neighbor count     u16 reserved
+    [neighbor count x u32 neighbor primary-section addresses]
+
+The feature dimension is global (set once by the GNN configuration
+command, Section V-A), so sections do not repeat it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .address import ADDRESS_BYTES, AddressCodec
+
+__all__ = [
+    "FormatSpec",
+    "PAGE_TYPE_PRIMARY",
+    "PAGE_TYPE_SECONDARY",
+    "SECTION_TYPE_PRIMARY",
+    "SECTION_TYPE_SECONDARY",
+    "PRIMARY_HEADER_BYTES",
+    "SECONDARY_HEADER_BYTES",
+]
+
+PAGE_TYPE_PRIMARY = 1
+PAGE_TYPE_SECONDARY = 2
+SECTION_TYPE_PRIMARY = 1
+SECTION_TYPE_SECONDARY = 2
+
+PRIMARY_HEADER_BYTES = 16  # type, flags, len, node, nbr count, n_sec, n_inline
+SECONDARY_HEADER_BYTES = 12  # type, flags, len, node, nbr count, reserved
+
+
+@dataclass
+class FormatSpec:
+    """All sizing rules for one DirectGraph instance."""
+
+    page_size: int = 4096
+    feature_dim: int = 128
+    codec: AddressCodec = field(default_factory=AddressCodec)
+    feature_elem_bytes: int = 2  # FP16
+    growth_slots: int = 0  # reserved secondary-address slots per primary
+    # section, enabling in-place edge additions (extension; the paper's
+    # graphs are static). Stored in the section's flags byte.
+
+    def __post_init__(self) -> None:
+        if self.page_size < 256:
+            raise ValueError("page_size must be at least 256 bytes")
+        if self.feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        if not (0 <= self.growth_slots <= 255):
+            raise ValueError("growth_slots must fit the flags byte (0..255)")
+        if self.page_header_bytes + PRIMARY_HEADER_BYTES + self.feature_bytes > self.page_size:
+            raise ValueError(
+                "feature vector does not fit in a page alongside headers"
+            )
+
+    # -- derived sizes --------------------------------------------------------
+
+    @property
+    def max_sections_per_page(self) -> int:
+        return self.codec.max_sections_per_page
+
+    @property
+    def page_header_bytes(self) -> int:
+        # type byte + count byte + u16 offset per possible section
+        return 2 + 2 * self.max_sections_per_page
+
+    @property
+    def page_payload_bytes(self) -> int:
+        return self.page_size - self.page_header_bytes
+
+    @property
+    def feature_bytes(self) -> int:
+        return self.feature_dim * self.feature_elem_bytes
+
+    def primary_section_bytes(self, n_secondary: int, n_inline: int) -> int:
+        return (
+            PRIMARY_HEADER_BYTES
+            + ADDRESS_BYTES * (n_secondary + self.growth_slots)
+            + self.feature_bytes
+            + ADDRESS_BYTES * n_inline
+        )
+
+    def secondary_section_bytes(self, n_neighbors: int) -> int:
+        return SECONDARY_HEADER_BYTES + ADDRESS_BYTES * n_neighbors
+
+    @property
+    def max_secondary_neighbors(self) -> int:
+        """Most neighbor entries one secondary section can hold."""
+        return (self.page_payload_bytes - SECONDARY_HEADER_BYTES) // ADDRESS_BYTES

@@ -1,0 +1,6 @@
+"""Energy model: per-event coefficients and run-level attribution."""
+
+from .coefficients import EnergyCoefficients
+from .model import EnergyReport, attribute_energy
+
+__all__ = ["EnergyCoefficients", "EnergyReport", "attribute_energy"]

@@ -1,0 +1,102 @@
+"""Energy accounting over a finished run (Figure 19).
+
+Consumes the meters and busy times a platform run produced and attributes
+joules to the paper's categories:
+
+* ``external_transfer`` — PCIe + host-path data movement;
+* ``dram`` — SSD-internal DRAM traffic;
+* ``flash`` — page reads + channel transfers + on-die sampler logic;
+* ``controller`` — firmware cores + channel routers + static electronics;
+* ``accelerator`` — spatial/discrete accelerator active compute.
+
+Host CPU work (NVMe stack, translation, host sampling) counts toward
+``external_transfer`` — it exists only to move data outside the storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .coefficients import EnergyCoefficients
+
+__all__ = ["EnergyReport", "attribute_energy"]
+
+
+@dataclass
+class EnergyReport:
+    """Joules per category for one run, plus derived metrics."""
+
+    categories: Dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    total_targets: int = 0
+
+    @property
+    def total_joules(self) -> float:
+        return sum(self.categories.values())
+
+    @property
+    def average_watts(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_joules / self.total_seconds
+
+    @property
+    def targets_per_joule(self) -> float:
+        if self.total_joules <= 0:
+            return 0.0
+        return self.total_targets / self.total_joules
+
+    def fraction(self, category: str) -> float:
+        total = self.total_joules
+        if total <= 0:
+            return 0.0
+        return self.categories.get(category, 0.0) / total
+
+
+def attribute_energy(
+    meters: Dict[str, float],
+    firmware_busy_s: float,
+    flash_busy_s: float,
+    channel_bytes: float,
+    total_seconds: float,
+    total_targets: int,
+    coeff: EnergyCoefficients = None,
+) -> EnergyReport:
+    """Turn run counters into a Figure 19-style energy breakdown."""
+    c = coeff or EnergyCoefficients()
+    get = lambda key: meters.get(key, 0.0)
+
+    flash = (
+        get("flash_reads") * c.flash_read_uj_per_page * 1e-6
+        + channel_bytes * c.channel_pj_per_byte * 1e-12
+        + get("die_sample_neighbors") * c.die_sampler_pj_per_neighbor * 1e-12
+    )
+    dram = get("dram_bytes") * c.dram_pj_per_byte * 1e-12
+    # "transfer data outside storage": PCIe bytes plus the host CPU work
+    # that drives the storage/accelerator stack
+    external = (
+        get("pcie_bytes") * c.pcie_pj_per_byte * 1e-12
+        + get("host_busy_s") * c.host_cpu_active_watts
+    )
+    controller = (
+        firmware_busy_s * c.core_active_watts
+        + (get("router_parses") + get("router_commands"))
+        * c.router_pj_per_command
+        * 1e-12
+        + total_seconds * c.ssd_static_watts
+    )
+    accelerator = get("accel_energy_j")
+
+    report = EnergyReport(
+        categories={
+            "external_transfer": external,
+            "dram": dram,
+            "flash": flash,
+            "controller": controller,
+            "accelerator": accelerator,
+        },
+        total_seconds=total_seconds,
+        total_targets=total_targets,
+    )
+    return report

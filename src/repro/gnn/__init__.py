@@ -1,0 +1,41 @@
+"""GNN substrate: graphs, features, reference sampling, and the model."""
+
+from .features import DenseFeatureTable, FeatureTable, ProceduralFeatureTable
+from .generators import power_law_graph, ring_of_cliques, uniform_random_graph
+from .graph import Graph
+from .model import ComputeShape, GnnLayer, GnnModel, minibatch_compute_shapes
+from .training import LayerGradients, SgdTrainer, forward_backward, mse_loss
+from .sampling import (
+    SampledSubgraph,
+    TreeNode,
+    child_position,
+    depth_offsets,
+    sample_minibatch,
+    sample_subgraph,
+    tree_capacity,
+)
+
+__all__ = [
+    "Graph",
+    "uniform_random_graph",
+    "power_law_graph",
+    "ring_of_cliques",
+    "FeatureTable",
+    "DenseFeatureTable",
+    "ProceduralFeatureTable",
+    "SampledSubgraph",
+    "TreeNode",
+    "sample_subgraph",
+    "sample_minibatch",
+    "child_position",
+    "depth_offsets",
+    "tree_capacity",
+    "GnnLayer",
+    "GnnModel",
+    "ComputeShape",
+    "minibatch_compute_shapes",
+    "SgdTrainer",
+    "forward_backward",
+    "LayerGradients",
+    "mse_loss",
+]

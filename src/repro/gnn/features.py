@@ -1,0 +1,86 @@
+"""Node feature tables.
+
+Two implementations share one interface:
+
+* :class:`DenseFeatureTable` — a materialized ``float16`` numpy array, used
+  for functional GNN computation at test scale.
+* :class:`ProceduralFeatureTable` — derives each vector deterministically
+  from the node id, so multi-hundred-GB feature tables (Table III scale) can
+  be "stored" without materializing them. Reading the same node twice yields
+  identical bytes, which is all DirectGraph round-trip tests need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FeatureTable", "DenseFeatureTable", "ProceduralFeatureTable"]
+
+
+class FeatureTable:
+    """Interface: per-node fixed-dimension FP16 feature vectors."""
+
+    num_nodes: int
+    dim: int
+    dtype = np.float16
+
+    @property
+    def bytes_per_vector(self) -> int:
+        return self.dim * np.dtype(self.dtype).itemsize
+
+    def vector(self, node: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def gather(self, nodes) -> np.ndarray:
+        """Stack vectors for a sequence of node ids into an (n, dim) array."""
+        return np.stack([self.vector(int(v)) for v in nodes]) if len(nodes) else np.zeros(
+            (0, self.dim), dtype=self.dtype
+        )
+
+
+class DenseFeatureTable(FeatureTable):
+    """Materialized feature matrix."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.float16)
+        if matrix.ndim != 2:
+            raise ValueError("feature matrix must be 2-D")
+        self._matrix = matrix
+        self.num_nodes, self.dim = matrix.shape
+
+    @classmethod
+    def random(cls, num_nodes: int, dim: int, seed: int = 0) -> "DenseFeatureTable":
+        rng = np.random.default_rng(seed)
+        return cls(rng.standard_normal((num_nodes, dim)).astype(np.float16))
+
+    def vector(self, node: int) -> np.ndarray:
+        self._check(node)
+        return self._matrix[node]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+
+class ProceduralFeatureTable(FeatureTable):
+    """Deterministic on-demand features: ``vector(v)`` is a pure function.
+
+    Each node's vector is produced by a counter-based generator seeded with
+    ``(seed, node)``, so arbitrary-scale tables cost O(1) memory.
+    """
+
+    def __init__(self, num_nodes: int, dim: int, seed: int = 0) -> None:
+        if num_nodes <= 0 or dim <= 0:
+            raise ValueError("num_nodes and dim must be positive")
+        self.num_nodes = num_nodes
+        self.dim = dim
+        self.seed = seed
+
+    def vector(self, node: int) -> np.ndarray:
+        self._check(node)
+        rng = np.random.default_rng((self.seed, node))
+        return rng.standard_normal(self.dim).astype(np.float16)

@@ -1,0 +1,102 @@
+"""Synthetic graph generators.
+
+The paper evaluates on PyG datasets scaled to hundreds of GBs (Table III,
+following SmartSage's methodology). Those scaled datasets are not
+redistributable, so we synthesize graphs with matching *shape*: node count,
+average degree, and a heavy-tailed degree distribution (real large-scale
+graphs follow the densification law the paper cites). The simulator's
+behaviour depends only on these shape parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "uniform_random_graph",
+    "power_law_graph",
+    "ring_of_cliques",
+]
+
+
+def uniform_random_graph(
+    num_nodes: int, avg_degree: float, seed: int = 0
+) -> Graph:
+    """Erdős–Rényi-style multigraph with the requested average out-degree."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if avg_degree < 0:
+        raise ValueError("avg_degree must be non-negative")
+    rng = np.random.default_rng(seed)
+    degrees = rng.poisson(avg_degree, size=num_nodes).astype(np.int64)
+    # Every node keeps at least one neighbor so sampling never dead-ends.
+    np.maximum(degrees, 1, out=degrees)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = rng.integers(0, num_nodes, size=indptr[-1], dtype=np.int32)
+    return Graph(indptr, indices)
+
+
+def power_law_graph(
+    num_nodes: int,
+    avg_degree: float,
+    exponent: float = 2.1,
+    max_degree: int | None = None,
+    seed: int = 0,
+) -> Graph:
+    """Heavy-tailed degree graph via a configuration-model construction.
+
+    Out-degrees follow a truncated Pareto with the given ``exponent``,
+    rescaled so the mean matches ``avg_degree``. Neighbor endpoints are drawn
+    preferentially (probability proportional to degree), which yields the
+    hub structure typical of social/e-commerce graphs.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if avg_degree < 1:
+        raise ValueError("avg_degree must be >= 1")
+    if exponent <= 1.0:
+        raise ValueError("exponent must be > 1")
+    rng = np.random.default_rng(seed)
+    if max_degree is None:
+        max_degree = max(int(avg_degree * 50), 16)
+    raw = (rng.pareto(exponent - 1.0, size=num_nodes) + 1.0)
+    raw = np.minimum(raw, max_degree / max(avg_degree, 1.0))
+    degrees = raw * (avg_degree / raw.mean())
+    degrees = np.maximum(degrees.astype(np.int64), 1)
+    degrees = np.minimum(degrees, max_degree)
+
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    num_edges = int(indptr[-1])
+
+    # Preferential endpoint selection: sample positions in the stub array.
+    stub_positions = rng.integers(0, num_edges, size=num_edges, dtype=np.int64)
+    endpoints = (
+        np.searchsorted(indptr[1:], stub_positions, side="right")
+    ).astype(np.int32)
+    return Graph(indptr, endpoints)
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """Deterministic test graph: cliques joined in a ring.
+
+    Every node's neighborhood is fully known, which makes sampling
+    correctness easy to assert in tests.
+    """
+    if num_cliques < 1 or clique_size < 2:
+        raise ValueError("need at least one clique of size >= 2")
+    n = num_cliques * clique_size
+    lists = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            node = base + i
+            nl = [base + j for j in range(clique_size) if j != i]
+            if i == 0:  # bridge to the next clique
+                nl.append(((c + 1) % num_cliques) * clique_size)
+            lists.append(nl)
+    assert len(lists) == n
+    return Graph.from_neighbor_lists(lists)

@@ -1,0 +1,111 @@
+"""CSR graph structure used throughout the reproduction.
+
+The simulator, the DirectGraph builder, and the reference GraphSage sampler
+all consume this one immutable adjacency representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable directed graph in CSR (compressed sparse row) form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1``; node ``v``'s neighbor
+        list is ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int32`` array of neighbor node ids (the concatenated adjacency).
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int32)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D arrays")
+        if len(indptr) < 1:
+            raise ValueError("indptr must have at least one entry")
+        if indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if indptr[-1] != len(indices):
+            raise ValueError("indptr must end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("neighbor id out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.num_nodes = n
+        self.num_edges = int(len(indices))
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, edges: Iterable[Tuple[int, int]]
+    ) -> "Graph":
+        """Build from ``(src, dst)`` pairs; dst becomes a neighbor of src."""
+        edge_list = list(edges)
+        counts = np.zeros(num_nodes, dtype=np.int64)
+        for src, _dst in edge_list:
+            if not (0 <= src < num_nodes):
+                raise ValueError(f"source {src} out of range")
+            counts[src] += 1
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.zeros(len(edge_list), dtype=np.int32)
+        cursor = indptr[:-1].copy()
+        for src, dst in edge_list:
+            if not (0 <= dst < num_nodes):
+                raise ValueError(f"destination {dst} out of range")
+            indices[cursor[src]] = dst
+            cursor[src] += 1
+        return cls(indptr, indices)
+
+    @classmethod
+    def from_neighbor_lists(cls, lists: Sequence[Sequence[int]]) -> "Graph":
+        indptr = np.zeros(len(lists) + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(nl) for nl in lists])
+        if len(lists):
+            indices = np.concatenate(
+                [np.asarray(nl, dtype=np.int32) for nl in lists]
+            ) if indptr[-1] else np.zeros(0, dtype=np.int32)
+        else:
+            indices = np.zeros(0, dtype=np.int32)
+        return cls(indptr, indices)
+
+    # -- accessors ------------------------------------------------------------
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbor ids of ``node`` (a read-only view)."""
+        if not (0 <= node < self.num_nodes):
+            raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        if not (0 <= node < self.num_nodes):
+            raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def average_degree(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
+            f"avg_degree={self.average_degree:.1f})"
+        )

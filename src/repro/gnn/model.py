@@ -1,0 +1,189 @@
+"""Numpy reference implementation of the evaluated GNN model.
+
+The paper's model (Section VII-A): ``vector_sum`` aggregation followed by a
+perceptron (single linear layer + ReLU) embedding update, run for K
+iterations over the sampled k-hop subgraph tree. Features and embeddings
+are FP16; we accumulate in FP32 and round back, matching fixed-function
+hardware practice.
+
+Besides functional verification, the model reports the exact GEMM and
+aggregation shapes each mini-batch induces — the spatial-accelerator timing
+model (``repro.accel``) consumes those shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .features import FeatureTable
+from .sampling import SampledSubgraph
+
+__all__ = ["GnnLayer", "GnnModel", "ComputeShape", "minibatch_compute_shapes"]
+
+
+@dataclass
+class GnnLayer:
+    """One message-passing layer: ``h' = relu(W @ agg + b)``."""
+
+    weight: np.ndarray  # (out_dim, in_dim) fp16
+    bias: np.ndarray  # (out_dim,) fp16
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float16)
+        self.bias = np.asarray(self.bias, dtype=np.float16)
+        if self.weight.ndim != 2 or self.bias.ndim != 1:
+            raise ValueError("weight must be 2-D, bias 1-D")
+        if self.weight.shape[0] != self.bias.shape[0]:
+            raise ValueError("bias length must match weight rows")
+
+    @property
+    def in_dim(self) -> int:
+        return int(self.weight.shape[1])
+
+    @property
+    def out_dim(self) -> int:
+        return int(self.weight.shape[0])
+
+    def apply(self, aggregated: np.ndarray) -> np.ndarray:
+        """Apply the perceptron update to (n, in_dim) aggregated vectors."""
+        acc = aggregated.astype(np.float32) @ self.weight.astype(np.float32).T
+        acc += self.bias.astype(np.float32)
+        np.maximum(acc, 0.0, out=acc)
+        return acc.astype(np.float16)
+
+
+class GnnModel:
+    """A K-layer GraphSage-style model with vector_sum aggregation."""
+
+    def __init__(self, layers: Sequence[GnnLayer]) -> None:
+        if not layers:
+            raise ValueError("model needs at least one layer")
+        for a, b in zip(layers, layers[1:]):
+            if b.in_dim != a.out_dim:
+                raise ValueError("layer dimensions do not chain")
+        self.layers = list(layers)
+
+    @classmethod
+    def random(
+        cls, feature_dim: int, hidden_dim: int, num_layers: int, seed: int = 0
+    ) -> "GnnModel":
+        rng = np.random.default_rng(seed)
+        layers = []
+        in_dim = feature_dim
+        for _ in range(num_layers):
+            scale = 1.0 / np.sqrt(in_dim)
+            w = (rng.standard_normal((hidden_dim, in_dim)) * scale).astype(np.float16)
+            b = np.zeros(hidden_dim, dtype=np.float16)
+            layers.append(GnnLayer(w, b))
+            in_dim = hidden_dim
+        return cls(layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def forward_subgraph(
+        self, subgraph: SampledSubgraph, features: FeatureTable
+    ) -> np.ndarray:
+        """Target-node embedding after K layers of message passing.
+
+        A position at depth ``d`` only needs ``K - d`` updates, so each layer
+        shrinks the active tree by one level (the standard sampled-subgraph
+        schedule).
+        """
+        if len(subgraph.fanouts) < self.num_layers:
+            raise ValueError(
+                f"subgraph has {len(subgraph.fanouts)} hops but model has "
+                f"{self.num_layers} layers"
+            )
+        positions = list(subgraph.nodes.values())
+        h = {
+            n.position: features.vector(n.node_id).copy() for n in positions
+        }
+        children: dict[int, List[int]] = {n.position: [] for n in positions}
+        for n in positions:
+            if n.parent >= 0:
+                children[n.parent].append(n.position)
+
+        max_depth = self.num_layers
+        for k, layer in enumerate(self.layers, start=1):
+            active = [n for n in positions if n.depth <= max_depth - k]
+            agg = np.zeros((len(active), layer.in_dim), dtype=np.float32)
+            for row, n in enumerate(active):
+                acc = h[n.position].astype(np.float32)
+                for child_pos in children[n.position]:
+                    acc = acc + h[child_pos].astype(np.float32)
+                agg[row] = acc
+            updated = layer.apply(agg.astype(np.float16))
+            h_next = {}
+            for row, n in enumerate(active):
+                h_next[n.position] = updated[row]
+            h = h_next
+        return h[0]
+
+    def forward_minibatch(
+        self, subgraphs: Sequence[SampledSubgraph], features: FeatureTable
+    ) -> np.ndarray:
+        """(batch, hidden) matrix of target embeddings."""
+        return np.stack(
+            [self.forward_subgraph(sg, features) for sg in subgraphs]
+        )
+
+
+@dataclass(frozen=True)
+class ComputeShape:
+    """Work induced by one layer over one mini-batch.
+
+    ``gemm = (M, K, N)``: M rows (active tree positions across the batch),
+    K input dim, N output dim. ``agg_vectors`` counts vector-sum additions
+    (each of length K) performed by the 1-D array.
+    """
+
+    layer: int
+    gemm: Tuple[int, int, int]
+    agg_vectors: int
+
+
+def minibatch_compute_shapes(
+    batch_size: int,
+    fanouts: Sequence[int],
+    feature_dim: int,
+    hidden_dim: int,
+    num_layers: int,
+) -> List[ComputeShape]:
+    """Closed-form per-layer GEMM/aggregation shapes for a mini-batch.
+
+    With fanout ``f``, the number of active positions at layer ``k`` (1-based)
+    is ``sum_{d=0}^{K-k} f^d`` per target.
+    """
+    if num_layers > len(fanouts):
+        raise ValueError("more layers than sampled hops")
+    shapes = []
+    in_dim = feature_dim
+    for k in range(1, num_layers + 1):
+        active = 0
+        level = 1
+        for depth in range(0, num_layers - k + 1):
+            active += level
+            level *= fanouts[depth] if depth < len(fanouts) else 0
+        rows = active * batch_size
+        # Each active position sums its children plus itself.
+        child_level = 1
+        adds = 0
+        level = 1
+        for depth in range(0, num_layers - k + 1):
+            fanout = fanouts[depth] if depth < len(fanouts) else 0
+            adds += level * fanout
+            level *= fanout
+        shapes.append(
+            ComputeShape(
+                layer=k,
+                gemm=(rows, in_dim, hidden_dim),
+                agg_vectors=adds * batch_size,
+            )
+        )
+        in_dim = hidden_dim
+    return shapes

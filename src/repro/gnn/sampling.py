@@ -1,0 +1,224 @@
+"""Reference GraphSage-style neighbor sampling.
+
+This is the *functional specification* that every platform in the simulator
+must match: the in-storage die-level sampler (``repro.isc.sampler``) and the
+host/firmware samplers all reproduce exactly these subgraphs.
+
+Determinism across out-of-order execution
+-----------------------------------------
+The BeaconGNN die sampler draws a TRNG value and takes it modulo the
+neighbor count. To compare an *out-of-order* in-storage execution against
+this in-order reference, two things must not depend on execution order:
+
+* randomness — we use a counter-based draw keyed on
+  ``(seed, target, hop, parent position, sample index)``
+  (:func:`repro.isc.trng.counter_draw`);
+* tree positions — we use *heap numbering*: with per-hop fanouts
+  ``(f1, f2, ...)``, depth ``d`` occupies a contiguous index range and the
+  ``j``-th child of position ``p`` has a position computable from ``(p, d,
+  j)`` alone (:func:`child_position`). A die holding only a sampling
+  command can therefore name its children without global coordination.
+
+Any execution order yields the same subgraph, which is what lets
+DirectGraph relax hop ordering without changing GNN semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..rng import counter_draw
+from .graph import Graph
+
+__all__ = [
+    "TreeNode",
+    "SampledSubgraph",
+    "sample_subgraph",
+    "sample_minibatch",
+    "depth_offsets",
+    "child_position",
+    "position_depth",
+    "parent_position",
+    "tree_capacity",
+]
+
+
+def depth_offsets(fanouts: Sequence[int]) -> List[int]:
+    """Start index of each depth's position range under heap numbering.
+
+    ``offsets[d]`` is the first position at depth ``d``; depth ``d`` spans
+    ``prod(fanouts[:d])`` positions.
+    """
+    offsets = [0]
+    width = 1
+    for fanout in fanouts:
+        offsets.append(offsets[-1] + width)
+        width *= fanout
+    return offsets
+
+
+def tree_capacity(fanouts: Sequence[int]) -> int:
+    """Total positions in a full tree: 40 for the paper's (3, 3, 3)."""
+    total = 1
+    width = 1
+    for fanout in fanouts:
+        width *= fanout
+        total += width
+    return total
+
+
+def child_position(
+    fanouts: Sequence[int], parent_position: int, child_depth: int, j: int
+) -> int:
+    """Heap position of the ``j``-th child (depth ``child_depth``) of
+    ``parent_position`` (depth ``child_depth - 1``)."""
+    if not (1 <= child_depth <= len(fanouts)):
+        raise ValueError(f"child_depth {child_depth} out of range")
+    fanout = fanouts[child_depth - 1]
+    if not (0 <= j < fanout):
+        raise ValueError(f"sample index {j} out of fanout {fanout}")
+    offsets = depth_offsets(fanouts)
+    rank = parent_position - offsets[child_depth - 1]
+    return offsets[child_depth] + rank * fanout + j
+
+
+def position_depth(fanouts: Sequence[int], position: int) -> int:
+    """Depth of a heap position (inverse of the offset ranges)."""
+    if not (0 <= position < tree_capacity(fanouts)):
+        raise ValueError(
+            f"position {position} outside tree of fanouts {fanouts}"
+        )
+    depth = 0
+    for d, offset in enumerate(depth_offsets(fanouts)):
+        if position >= offset:
+            depth = d
+    return depth
+
+
+def parent_position(fanouts: Sequence[int], position: int) -> int:
+    """Heap position of a position's parent; -1 for the root."""
+    if position == 0:
+        return -1
+    depth = position_depth(fanouts, position)
+    offsets = depth_offsets(fanouts)
+    rank = position - offsets[depth]
+    return offsets[depth - 1] + rank // fanouts[depth - 1]
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One position in the sampled subgraph tree."""
+
+    position: int  # heap position (root = 0)
+    node_id: int  # graph node id (may repeat across positions)
+    depth: int  # 0 for the target
+    parent: int  # heap position of the parent; -1 for the target
+
+
+@dataclass
+class SampledSubgraph:
+    """A k-hop sampled tree rooted at ``target``.
+
+    Positions use heap numbering, so when some sampled node has no
+    neighbors its (empty) subtree leaves position gaps — ``nodes`` maps
+    heap position to :class:`TreeNode` in insertion (BFS) order.
+    """
+
+    target: int
+    fanouts: Tuple[int, ...]
+    nodes: Dict[int, TreeNode] = field(default_factory=dict)
+
+    @property
+    def num_positions(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def root(self) -> TreeNode:
+        return self.nodes[0]
+
+    def add(self, node: TreeNode) -> None:
+        if node.position in self.nodes:
+            raise ValueError(f"position {node.position} already filled")
+        self.nodes[node.position] = node
+
+    def positions_at_depth(self, depth: int) -> List[TreeNode]:
+        return [n for n in self.nodes.values() if n.depth == depth]
+
+    def children_of(self, position: int) -> List[TreeNode]:
+        return [n for n in self.nodes.values() if n.parent == position]
+
+    def unique_node_ids(self) -> List[int]:
+        return sorted({n.node_id for n in self.nodes.values()})
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """(parent node id, child node id) pairs, one per non-root position."""
+        return [
+            (self.nodes[n.parent].node_id, n.node_id)
+            for n in self.nodes.values()
+            if n.parent >= 0
+        ]
+
+    def canonical(self) -> List[Tuple[int, int, int, int]]:
+        """Order-independent identity: sorted (position, node, depth, parent)."""
+        return sorted(
+            (n.position, n.node_id, n.depth, n.parent) for n in self.nodes.values()
+        )
+
+    def validate_against(self, graph: Graph) -> None:
+        """Raise if any sampled edge is not a real graph edge."""
+        for parent_id, child_id in self.edges():
+            if child_id not in set(int(x) for x in graph.neighbors(parent_id)):
+                raise AssertionError(
+                    f"sampled edge {parent_id}->{child_id} not in graph"
+                )
+
+
+def sample_subgraph(
+    graph: Graph,
+    target: int,
+    fanouts: Sequence[int],
+    seed: int = 0,
+) -> SampledSubgraph:
+    """Sample a k-hop tree below ``target`` with per-hop fanouts.
+
+    Sampling is with replacement (``draw % degree``), matching the on-die
+    modulo sampler. Nodes with no neighbors contribute no children.
+    """
+    if not (0 <= target < graph.num_nodes):
+        raise IndexError(f"target {target} out of range")
+    fanouts = tuple(int(f) for f in fanouts)
+    if any(f < 0 for f in fanouts):
+        raise ValueError("fanout must be >= 0")
+    sg = SampledSubgraph(target=target, fanouts=fanouts)
+    sg.add(TreeNode(position=0, node_id=target, depth=0, parent=-1))
+    frontier = [sg.nodes[0]]
+    for hop, fanout in enumerate(fanouts, start=1):
+        next_frontier: List[TreeNode] = []
+        for parent in frontier:
+            degree = graph.degree(parent.node_id)
+            if degree == 0:
+                continue
+            neighbors = graph.neighbors(parent.node_id)
+            for j in range(fanout):
+                draw = counter_draw(seed, target, hop, parent.position, j)
+                child = TreeNode(
+                    position=child_position(fanouts, parent.position, hop, j),
+                    node_id=int(neighbors[draw % degree]),
+                    depth=hop,
+                    parent=parent.position,
+                )
+                sg.add(child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return sg
+
+
+def sample_minibatch(
+    graph: Graph,
+    targets: Sequence[int],
+    fanouts: Sequence[int],
+    seed: int = 0,
+) -> List[SampledSubgraph]:
+    """Sample one subgraph per target, all from the same seed space."""
+    return [sample_subgraph(graph, int(t), fanouts, seed) for t in targets]

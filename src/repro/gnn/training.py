@@ -1,0 +1,194 @@
+"""Mini-batch GNN training on sampled subgraphs (forward + backward).
+
+The paper evaluates *training* throughput; the computation stage performs
+vector_sum aggregation and perceptron updates per layer, and training adds
+the backward pass and weight update. This module implements exact
+backpropagation through the sampled-subgraph schedule of
+:class:`~repro.gnn.model.GnnModel` in numpy (FP32 accumulation), plus a
+small supervised trainer used by tests and examples.
+
+Backward through the tree schedule: layer ``k`` updated positions at
+depths ``0..K-k``; the gradient of a position's aggregated input flows
+back both to its own previous embedding and to each child's (vector_sum
+is linear), and positions at depth ``K-k+1`` receive gradient only
+through their parents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .features import FeatureTable
+from .model import GnnLayer, GnnModel
+from .sampling import SampledSubgraph
+
+__all__ = ["LayerGradients", "forward_backward", "SgdTrainer", "mse_loss"]
+
+
+@dataclass
+class LayerGradients:
+    """Weight/bias gradients for one layer (FP32)."""
+
+    d_weight: np.ndarray
+    d_bias: np.ndarray
+
+
+def mse_loss(prediction: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean-squared-error loss and its gradient w.r.t. the prediction."""
+    prediction = prediction.astype(np.float32)
+    target = target.astype(np.float32)
+    diff = prediction - target
+    loss = float(np.mean(diff**2))
+    grad = (2.0 / diff.size) * diff
+    return loss, grad
+
+
+def _forward_trace(
+    model: GnnModel, subgraph: SampledSubgraph, features: FeatureTable
+):
+    """Forward pass retaining per-layer activations for backprop.
+
+    Returns (output, trace); trace[k] holds, for layer k, the list of
+    active positions, the aggregated inputs (pre-GEMM), and the
+    pre-activation values (pre-ReLU).
+    """
+    positions = list(subgraph.nodes.values())
+    children: Dict[int, List[int]] = {n.position: [] for n in positions}
+    for n in positions:
+        if n.parent >= 0:
+            children[n.parent].append(n.position)
+    h = {
+        n.position: features.vector(n.node_id).astype(np.float32)
+        for n in positions
+    }
+    max_depth = model.num_layers
+    trace = []
+    for k, layer in enumerate(model.layers, start=1):
+        active = [n for n in positions if n.depth <= max_depth - k]
+        agg = np.zeros((len(active), layer.in_dim), dtype=np.float32)
+        for row, n in enumerate(active):
+            acc = h[n.position].copy()
+            for child in children[n.position]:
+                acc += h[child]
+            agg[row] = acc
+        pre = agg @ layer.weight.astype(np.float32).T + layer.bias.astype(
+            np.float32
+        )
+        out = np.maximum(pre, 0.0)
+        trace.append(
+            {
+                "active": active,
+                "children": children,
+                "agg": agg,
+                "pre": pre,
+                "h_in": {n.position: h[n.position] for n in positions},
+            }
+        )
+        h = {n.position: out[row] for row, n in enumerate(active)}
+        positions = active
+    return h[0], trace
+
+
+def forward_backward(
+    model: GnnModel,
+    subgraph: SampledSubgraph,
+    features: FeatureTable,
+    output_grad: np.ndarray,
+) -> List[LayerGradients]:
+    """Exact gradients of all layer parameters for one subgraph.
+
+    ``output_grad`` is dLoss/dEmbedding of the target node (FP32).
+    """
+    _out, trace = _forward_trace(model, subgraph, features)
+    grads = [
+        LayerGradients(
+            d_weight=np.zeros(
+                (layer.out_dim, layer.in_dim), dtype=np.float32
+            ),
+            d_bias=np.zeros(layer.out_dim, dtype=np.float32),
+        )
+        for layer in model.layers
+    ]
+    # gradient w.r.t. each position's embedding *after* the current layer
+    d_h: Dict[int, np.ndarray] = {0: output_grad.astype(np.float32)}
+    for k in range(model.num_layers, 0, -1):
+        layer = model.layers[k - 1]
+        step = trace[k - 1]
+        active = step["active"]
+        w32 = layer.weight.astype(np.float32)
+        d_agg_rows: Dict[int, np.ndarray] = {}
+        for row, n in enumerate(active):
+            up = d_h.get(n.position)
+            if up is None:
+                continue
+            relu_mask = (step["pre"][row] > 0).astype(np.float32)
+            d_pre = up * relu_mask
+            grads[k - 1].d_weight += np.outer(d_pre, step["agg"][row])
+            grads[k - 1].d_bias += d_pre
+            d_agg_rows[n.position] = d_pre @ w32
+        # propagate to the previous layer's embeddings: each aggregated
+        # input is self + sum(children), so the gradient copies to both
+        d_h_prev: Dict[int, np.ndarray] = {}
+        for n in active:
+            d_agg = d_agg_rows.get(n.position)
+            if d_agg is None:
+                continue
+            for pos in [n.position] + step["children"][n.position]:
+                if pos in d_h_prev:
+                    d_h_prev[pos] = d_h_prev[pos] + d_agg
+                else:
+                    d_h_prev[pos] = d_agg.copy()
+        d_h = d_h_prev
+    return grads
+
+
+@dataclass
+class SgdTrainer:
+    """Plain SGD over mini-batches of sampled subgraphs."""
+
+    model: GnnModel
+    learning_rate: float = 0.01
+    loss_history: List[float] = field(default_factory=list)
+
+    def train_batch(
+        self,
+        subgraphs: Sequence[SampledSubgraph],
+        features: FeatureTable,
+        targets: np.ndarray,
+    ) -> float:
+        """One step: forward, loss, backward, SGD update; returns loss."""
+        if len(subgraphs) != len(targets):
+            raise ValueError("one target vector per subgraph required")
+        total_loss = 0.0
+        accumulated = [
+            LayerGradients(
+                d_weight=np.zeros(
+                    (layer.out_dim, layer.in_dim), dtype=np.float32
+                ),
+                d_bias=np.zeros(layer.out_dim, dtype=np.float32),
+            )
+            for layer in self.model.layers
+        ]
+        for subgraph, target in zip(subgraphs, targets):
+            prediction = self.model.forward_subgraph(subgraph, features)
+            loss, grad = mse_loss(prediction, target)
+            total_loss += loss
+            for acc, g in zip(
+                accumulated, forward_backward(self.model, subgraph, features, grad)
+            ):
+                acc.d_weight += g.d_weight
+                acc.d_bias += g.d_bias
+        scale = self.learning_rate / len(subgraphs)
+        for layer, grad in zip(self.model.layers, accumulated):
+            layer.weight = (
+                layer.weight.astype(np.float32) - scale * grad.d_weight
+            ).astype(np.float16)
+            layer.bias = (
+                layer.bias.astype(np.float32) - scale * grad.d_bias
+            ).astype(np.float16)
+        mean_loss = total_loss / len(subgraphs)
+        self.loss_history.append(mean_loss)
+        return mean_loss

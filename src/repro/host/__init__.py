@@ -1,0 +1,6 @@
+"""Host-side runtime: driver + BeaconGNN deployment/run flows."""
+
+from .driver import CommandFailed, NvmeDriver
+from .runtime import BeaconHost, DeploymentInfo
+
+__all__ = ["NvmeDriver", "CommandFailed", "BeaconHost", "DeploymentInfo"]

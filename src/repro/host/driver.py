@@ -1,0 +1,59 @@
+"""Host NVMe driver: synchronous request/response over a queue pair.
+
+The driver submits one command, lets the firmware runtime process it, and
+collects the completion — the functional equivalent of the ioctl path the
+paper's host library uses for customized commands.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..ssd.firmware_runtime import FirmwareRuntime
+from ..ssd.nvme import NvmeCompletion, Opcode, QueuePair, Status
+
+__all__ = ["NvmeDriver", "CommandFailed"]
+
+
+class CommandFailed(RuntimeError):
+    """A command completed with a non-success status."""
+
+    def __init__(self, opcode: Opcode, completion: NvmeCompletion) -> None:
+        super().__init__(
+            f"{opcode.name} failed with {completion.status.name}"
+            + (f": {completion.result}" if completion.result else "")
+        )
+        self.opcode = opcode
+        self.completion = completion
+
+
+class NvmeDriver:
+    """Blocking submit-and-wait driver bound to one firmware runtime."""
+
+    def __init__(self, queue: QueuePair, firmware: FirmwareRuntime) -> None:
+        if firmware.queue is not queue:
+            raise ValueError("driver and firmware must share the queue pair")
+        self.queue = queue
+        self.firmware = firmware
+
+    def call(self, opcode: Opcode, lba: int = 0, payload: Any = None) -> Any:
+        """Submit, run the device until the completion arrives, return the
+        result. Raises :class:`CommandFailed` on error status."""
+        command_id = self.queue.submit(opcode, lba=lba, payload=payload)
+        self.firmware.process_all()
+        completion = self.queue.wait_for(command_id)
+        if completion.status != Status.SUCCESS:
+            raise CommandFailed(opcode, completion)
+        return completion.result
+
+    def submit_async(self, opcode: Opcode, lba: int = 0, payload: Any = None) -> int:
+        """Submit without driving the device (for deferral experiments)."""
+        return self.queue.submit(opcode, lba=lba, payload=payload)
+
+    # -- convenience wrappers ----------------------------------------------------
+
+    def read(self, lba: int) -> bytes:
+        return self.call(Opcode.READ, lba=lba)
+
+    def write(self, lba: int, data: bytes) -> int:
+        return self.call(Opcode.WRITE, lba=lba, payload=data)

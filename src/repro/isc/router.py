@@ -1,0 +1,118 @@
+"""Channel-level command router — functional model (Section V-B, Fig 12).
+
+The flash interface controller gains, per channel:
+
+* a **data-stream parser** that watches completed sampling results on the
+  channel bus and classifies the stream into new sampling commands vs
+  feature vectors;
+* **dispatch queues**, one per backend die, buffering commands routed in
+  from other channels;
+* a **round-robin command issuer** that launches a queued command whenever
+  its die is idle;
+* in/out ports wired through a **crossbar** that forwards commands to
+  their destination channel using only the physical address bits.
+
+The timing behaviour lives in the platform datapath
+(``repro.platforms.datapath``); this module is the functional routing
+fabric — address -> (channel, die) resolution, stream classification, and
+round-robin fairness — with direct unit tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..ssd.config import FlashConfig
+from .commands import SamplingCommand
+from .sampler import SampleResult
+
+__all__ = ["RouteInfo", "CommandRouter"]
+
+
+@dataclass(frozen=True)
+class RouteInfo:
+    """Destination of one sampling command."""
+
+    channel: int
+    die: int
+
+
+@dataclass
+class _ChannelState:
+    """Per-channel dispatch queues + round-robin cursor."""
+
+    queues: List[Deque[SamplingCommand]]
+    cursor: int = 0
+
+
+class CommandRouter:
+    """Routes sampling commands among channels without firmware help."""
+
+    def __init__(self, flash: FlashConfig) -> None:
+        self.flash = flash
+        self._channels = [
+            _ChannelState(
+                queues=[deque() for _ in range(flash.dies_per_channel)]
+            )
+            for _ in range(flash.num_channels)
+        ]
+        self.commands_routed = 0
+        self.cross_channel_hops = 0
+
+    # -- address resolution (the crossbar's routing function) ---------------
+
+    def route_of(self, command: SamplingCommand) -> RouteInfo:
+        channel, die = self.flash.locate(command.address.page)
+        return RouteInfo(channel=channel, die=die)
+
+    # -- stream classification (the parser) ---------------------------------
+
+    @staticmethod
+    def classify(result: SampleResult) -> Tuple[List[SamplingCommand], int]:
+        """Split a die's result stream into (new commands, feature bytes)."""
+        feature_bytes = (
+            len(result.feature_bytes) if result.feature_bytes is not None else 0
+        )
+        return list(result.children), feature_bytes
+
+    # -- dispatch queues ------------------------------------------------------
+
+    def dispatch(
+        self, command: SamplingCommand, source_channel: Optional[int] = None
+    ) -> RouteInfo:
+        """Forward a command through the crossbar into its die's queue."""
+        route = self.route_of(command)
+        self._channels[route.channel].queues[route.die].append(command)
+        self.commands_routed += 1
+        if source_channel is not None and source_channel != route.channel:
+            self.cross_channel_hops += 1
+        return route
+
+    def pending(self, channel: int, die: Optional[int] = None) -> int:
+        state = self._channels[channel]
+        if die is not None:
+            return len(state.queues[die])
+        return sum(len(q) for q in state.queues)
+
+    def issue_next(
+        self, channel: int, die_idle: List[bool]
+    ) -> Optional[Tuple[int, SamplingCommand]]:
+        """Round-robin issuer: pop one command for the next idle die.
+
+        ``die_idle[d]`` says whether die ``d`` of this channel can accept a
+        command. Returns ``(die, command)`` or ``None`` when nothing can
+        issue. The cursor advances past the served die, giving each die a
+        fair share of the channel's issue slots.
+        """
+        state = self._channels[channel]
+        n = len(state.queues)
+        if len(die_idle) != n:
+            raise ValueError(f"die_idle must have {n} entries")
+        for step in range(n):
+            die = (state.cursor + step) % n
+            if die_idle[die] and state.queues[die]:
+                state.cursor = (die + 1) % n
+                return die, state.queues[die].popleft()
+        return None

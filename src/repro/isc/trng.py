@@ -1,0 +1,32 @@
+"""Deterministic stand-in for the on-die true random number generator.
+
+The physical die has a TRNG; the simulator needs *reproducible* randomness
+that is also independent of command execution order (BeaconGNN executes
+sampling commands out of order). The counter-based construction lives in
+:mod:`repro.rng`; this module re-exports it and adds the per-die facade.
+"""
+
+from __future__ import annotations
+
+from ..rng import counter_draw, splitmix64
+
+__all__ = ["splitmix64", "counter_draw", "DieTrng"]
+
+_MASK64 = (1 << 64) - 1
+
+
+class DieTrng:
+    """Sequential TRNG facade for one flash die.
+
+    Exposes the same counter-based draws keyed by sampling-command
+    identity, so a die produces the same "random" numbers no matter when
+    the command reaches it.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed & _MASK64
+
+    def draw_for(
+        self, target: int, hop: int, parent_position: int, sample_index: int
+    ) -> int:
+        return counter_draw(self.seed, target, hop, parent_position, sample_index)

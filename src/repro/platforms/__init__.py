@@ -1,0 +1,35 @@
+"""Evaluated platforms (CC, GLIST, SmartSage, BG-1 ... BG-2)."""
+
+from .compute import ComputeEngine
+from .datapath import DataPrepEngine, PrepCommand
+from .features import ComputeSite, PlatformFeatures, SamplingSite
+from .pipeline import PipelineRunner
+from .query import QueryLatencyResult, measure_query_latency
+from .registry import BG_ORDER, PLATFORMS, platform_by_name, platform_names
+from .result import BatchTiming, RunResult
+from .runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_platform
+from .scaleout import P2pLink, ScaleOutResult, run_scaleout
+
+__all__ = [
+    "PLATFORMS",
+    "BG_ORDER",
+    "platform_by_name",
+    "platform_names",
+    "PlatformFeatures",
+    "SamplingSite",
+    "ComputeSite",
+    "DataPrepEngine",
+    "PrepCommand",
+    "ComputeEngine",
+    "PipelineRunner",
+    "RunResult",
+    "BatchTiming",
+    "run_platform",
+    "PreparedWorkload",
+    "DEFAULT_SCALED_NODES",
+    "run_scaleout",
+    "ScaleOutResult",
+    "P2pLink",
+    "measure_query_latency",
+    "QueryLatencyResult",
+]

@@ -1,0 +1,508 @@
+"""Data-preparation datapath: one engine, eight platform behaviours.
+
+Every platform prepares a mini-batch by executing the *same functional
+command DAG* (rooted at the targets' primary sections, expanded by the
+deterministic sampler), but pays different costs along four axes:
+
+* where sampling runs (host CPU / firmware core / on-die sampler);
+* what crosses the flash channel (whole pages vs sampled results);
+* how the control path is processed (host NVMe round trips per hop vs
+  firmware streaming vs hardware channel routers);
+* where features go (PCIe to a discrete accelerator vs SSD DRAM).
+
+Command lifecycle (timestamps feed Figure 17):
+
+    issue (control path) -> die queue -> page read [-> on-die sampling]
+      -> channel transfer -> completion (router parse / firmware / DRAM /
+         PCIe / host sampling) -> children
+
+DirectGraph platforms *stream*: children issue the moment their parent's
+result is parsed, regardless of hop. Non-DirectGraph platforms run
+hop-by-hop: all commands of a hop complete, the sampled ids travel to the
+host, the host translates node indices to LPAs, and the next hop's
+commands come back as NVMe requests — the Figure 5 barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..directgraph.builder import DirectGraphImage
+from ..isc.commands import (
+    COMMAND_BASE_BYTES,
+    CommandKind,
+    GnnTaskConfig,
+    RESULT_HEADER_BYTES,
+    SamplingCommand,
+)
+from ..isc.sampler import DieSampler, SampleResult
+from ..sim import Resource, Simulator
+from ..sim.stats import HopTimeline, Meter, StageAggregator, StageRecord
+from ..ssd.config import SSDConfig
+from ..ssd.device import SsdDevice
+from ..ssd.flash import DieExecution, FlashJob
+from .features import PlatformFeatures, SamplingSite
+
+__all__ = ["PrepCommand", "DataPrepEngine"]
+
+NODE_ID_BYTES = 4
+
+
+@dataclass
+class PrepCommand:
+    """One unit of data-preparation work on the flash backend."""
+
+    record: StageRecord
+    page_index: int
+    step: int  # Figure 16 step: sampling hops 1..k, then k+1 = features
+    sampling: Optional[SamplingCommand]  # None = raw page read
+    node_id: int = -1
+    payload_kind: str = "sample"  # "sample" | "feature" | "structure"
+
+
+@dataclass
+class _BatchCtx:
+    """Bookkeeping for one in-flight mini-batch preparation."""
+
+    outstanding: int = 0
+    collected: List[PrepCommand] = field(default_factory=list)
+    deferred_features: List[PrepCommand] = field(default_factory=list)
+    done: object = None  # set by the engine (an Event)
+
+
+class DataPrepEngine:
+    """Drives one platform's data preparation over the shared device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ssd_config: SSDConfig,
+        platform: PlatformFeatures,
+        image: DirectGraphImage,
+        task: GnnTaskConfig,
+    ) -> None:
+        self.sim = sim
+        self.ssd_config = ssd_config
+        self.platform = platform
+        self.image = image
+        self.task = task
+        self.sampler = DieSampler(image.spec, task)
+        self.device = SsdDevice(sim, ssd_config, self._die_executor)
+        self.channel_parsers = [
+            Resource(sim, capacity=1, name=f"parser{c}")
+            for c in range(ssd_config.flash.num_channels)
+        ]
+        self.meters = Meter()
+        self.stage_agg = StageAggregator()
+        self.hop_timelines: List[HopTimeline] = []
+        self._cmd_seq = 0
+        self.in_acceleration = False
+        self._accel_done = sim.event()
+        spec = image.spec
+        self._feature_bytes = spec.feature_bytes
+        self._vectors_per_page = max(1, spec.page_size // spec.feature_bytes)
+        self._feature_region_base = image.num_pages
+
+    # ------------------------------------------------------------------ utils
+
+    def _next_id(self) -> int:
+        self._cmd_seq += 1
+        return self._cmd_seq
+
+    @property
+    def hop_timeline(self) -> HopTimeline:
+        """Timeline of the first simulated batch (Figure 16)."""
+        if not self.hop_timelines:
+            self.hop_timelines.append(HopTimeline())
+        return self.hop_timelines[0]
+
+    @property
+    def _timeline(self) -> HopTimeline:
+        if not self.hop_timelines:
+            self.hop_timelines.append(HopTimeline())
+        return self.hop_timelines[-1]
+
+    def _feature_page_of(self, node_id: int) -> int:
+        """Synthetic feature-table page for non-DirectGraph layouts."""
+        return self._feature_region_base + node_id // self._vectors_per_page
+
+    def _make_root(self, target: int) -> PrepCommand:
+        sampling = SamplingCommand(
+            kind=CommandKind.SAMPLE_PRIMARY,
+            address=self.image.address_of(target),
+            target=target,
+            hop=0,
+            position=0,
+        )
+        return PrepCommand(
+            record=StageRecord(command_id=self._next_id(), hop=0),
+            page_index=sampling.address.page,
+            step=1,
+            sampling=sampling,
+            node_id=target,
+        )
+
+    # ---------------------------------------------------------- die executor
+
+    def _die_executor(self, job: FlashJob) -> DieExecution:
+        """Called by the die model when a page read finishes."""
+        cmd: Optional[PrepCommand] = job.payload
+        cfg = self.ssd_config
+        page_size = cfg.flash.page_size
+        if cmd is None:
+            # a regular (non-GNN) page read sharing the backend
+            return DieExecution(0.0, page_size, None)
+        if cmd.sampling is None:
+            if cmd.payload_kind == "feature" and self.platform.die_sampling:
+                # on-die vector retriever returns only the vector
+                extra = cfg.die_sampler.section_scan_s
+                payload = RESULT_HEADER_BYTES + self._feature_bytes
+                self.meters.add("die_feature_extracts")
+            else:
+                # raw page read (feature-table page or full-list structure
+                # page for host-side sampling)
+                extra = 0.0
+                payload = page_size
+            return DieExecution(extra, payload, None)
+
+        result = self.sampler.execute(
+            self.image.page_bytes(cmd.page_index), cmd.sampling
+        )
+        if self.platform.die_sampling:
+            extra = (
+                cfg.die_sampler.section_scan_s * result.sections_scanned
+                + cfg.die_sampler.per_neighbor_s * result.neighbors_sampled
+            )
+            payload = result.payload_bytes()
+            if not self.platform.feature_in_primary and result.feature_bytes:
+                # without DirectGraph the structure pages hold no features:
+                # the die returns sampled ids/commands only
+                payload -= len(result.feature_bytes)
+            self.meters.add("die_sample_neighbors", result.neighbors_sampled)
+        else:
+            extra = 0.0
+            payload = page_size
+        return DieExecution(extra, payload, result)
+
+    # ------------------------------------------------------- command process
+
+    def _run_command(self, cmd: PrepCommand, issued_by: str, ctx: _BatchCtx):
+        """Full lifecycle of one command; spawns or collects children."""
+        sim = self.sim
+        device = self.device
+        fw = self.ssd_config.firmware
+        host = self.ssd_config.host
+        platform = self.platform
+
+        cmd.record.issued = sim.now
+        timeline = self._timeline
+        timeline.note_start(cmd.step, sim.now)
+
+        # -- control path: issue ------------------------------------------------
+        if issued_by == "host":
+            # an NVMe request: host software stack + poller + FTL + scheduler
+            self.meters.add("nvme_requests")
+            yield from device.host_work(host.nvme_stack_s)
+            self.meters.add("host_busy_s", host.nvme_stack_s)
+            yield from device.firmware_work(
+                fw.io_poller_s + fw.ftl_lookup_s + fw.schedule_s
+            )
+        elif issued_by == "hop_batch":
+            # part of a per-hop batched request: the NVMe/host cost was paid
+            # once for the hop; firmware still translates and schedules
+            yield from device.firmware_work(fw.ftl_lookup_s + fw.schedule_s)
+        elif issued_by == "firmware":
+            yield from device.firmware_work(
+                fw.command_issue_cost(translate=not platform.direct_graph)
+            )
+        elif issued_by == "router":
+            self.meters.add("router_commands")
+            yield sim.timeout(self.ssd_config.hw_router.crossbar_s)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown issuer {issued_by!r}")
+
+        # -- flash read + channel transfer ---------------------------------------
+        job = FlashJob(page_index=cmd.page_index, record=cmd.record, payload=cmd)
+        yield self.device.flash.submit(job)
+        result: Optional[SampleResult] = (
+            job.execution.result if job.execution else None
+        )
+        payload_bytes = job.execution.payload_bytes
+        self.meters.add("flash_reads")
+
+        # -- completion path ------------------------------------------------------
+        children = self._children_of(cmd, result)
+        if platform.die_sampling and platform.hw_router:
+            # channel-level parser extracts results in hardware
+            channel, _die = self.ssd_config.flash.locate(cmd.page_index)
+            parser = self.channel_parsers[channel]
+            yield parser.acquire()
+            yield sim.timeout(self.ssd_config.hw_router.parse_s)
+            parser.release()
+            self.meters.add("router_parses")
+            self._finish(cmd, timeline)
+            self._dispatch_children(children, "router", ctx)
+            # feature/record DMA into SSD DRAM happens off the critical
+            # path of child dispatch but gates batch completion
+            yield device.dram.transfer(payload_bytes)
+            self.meters.add("dram_bytes", payload_bytes)
+        elif platform.die_sampling:
+            # firmware parses the small result and schedules children
+            yield from device.firmware_work(fw.completion_s + fw.parse_result_s)
+            self._finish(cmd, timeline)
+            self._dispatch_children(children, "firmware", ctx)
+            yield device.dram.transfer(payload_bytes)
+            self.meters.add("dram_bytes", payload_bytes)
+        else:
+            # page-granular platforms: page lands in SSD DRAM first
+            yield device.dram.transfer(payload_bytes)
+            self.meters.add("dram_bytes", payload_bytes)
+            yield from device.firmware_work(fw.completion_s)
+            if (
+                platform.sampling_site == SamplingSite.FIRMWARE
+                and result is not None
+                and result.neighbors_sampled
+            ):
+                yield from device.firmware_work(
+                    fw.parse_result_s
+                    + fw.sample_per_neighbor_s * result.neighbors_sampled
+                )
+                self.meters.add("fw_sample_neighbors", result.neighbors_sampled)
+            crosses = (
+                self.platform.features_cross_pcie
+                if cmd.payload_kind == "feature"
+                else self.platform.structure_cross_pcie
+            )
+            if crosses:
+                pcie_bytes = payload_bytes
+                if (
+                    cmd.payload_kind == "feature"
+                    and platform.sampling_site != SamplingSite.HOST
+                ):
+                    # ISC designs (SmartSage) gather vectors in-SSD and ship
+                    # packed features, not raw feature-table pages
+                    pcie_bytes = RESULT_HEADER_BYTES + self._feature_bytes
+                yield device.pcie.transfer(pcie_bytes)
+                self.meters.add("pcie_bytes", pcie_bytes)
+            if (
+                platform.sampling_site == SamplingSite.HOST
+                and result is not None
+                and result.neighbors_sampled
+            ):
+                cost = host.sample_per_neighbor_s * result.neighbors_sampled
+                yield from device.host_work(cost)
+                self.meters.add("host_busy_s", cost)
+                self.meters.add("host_sample_neighbors", result.neighbors_sampled)
+            self._finish(cmd, timeline)
+            self._dispatch_children(children, "firmware", ctx)
+        ctx.outstanding -= 1
+        if ctx.outstanding == 0 and ctx.done is not None and not ctx.done.triggered:
+            ctx.done.succeed()
+
+    def _finish(self, cmd: PrepCommand, timeline: HopTimeline) -> None:
+        cmd.record.completed = self.sim.now
+        self.stage_agg.add(cmd.record)
+        timeline.note_end(cmd.step, self.sim.now)
+
+    def _dispatch_children(
+        self, children: List[PrepCommand], issuer: str, ctx: _BatchCtx
+    ) -> None:
+        if self.platform.hop_barrier:
+            # hop-by-hop: sampling continues next round; feature fetches
+            # form the final "k-th hop feature retrieval" step (Figure 16)
+            for child in children:
+                if child.payload_kind == "feature":
+                    ctx.deferred_features.append(child)
+                else:
+                    ctx.collected.append(child)
+        else:
+            for child in children:
+                ctx.outstanding += 1
+                self.sim.process(self._run_command(child, issuer, ctx))
+
+    # --------------------------------------------------------------- children
+
+    def _children_of(
+        self, cmd: PrepCommand, result: Optional[SampleResult]
+    ) -> List[PrepCommand]:
+        """Derive the follow-up commands of one completed command."""
+        children: List[PrepCommand] = []
+        if cmd.sampling is None or result is None:
+            return children
+        feature_step = self.task.num_hops + 1
+        secondary_pages_read = set()
+        for sub in result.children:
+            if (
+                sub.kind == CommandKind.FETCH_FEATURE
+                and not self.platform.feature_in_primary
+            ):
+                node = self.image.node_at(sub.address)
+                children.append(
+                    PrepCommand(
+                        record=StageRecord(
+                            command_id=self._next_id(), hop=sub.hop
+                        ),
+                        page_index=self._feature_page_of(node),
+                        step=feature_step,
+                        sampling=None,
+                        node_id=node,
+                        payload_kind="feature",
+                    )
+                )
+            else:
+                step = sub.hop + 1 if sub.kind != CommandKind.FETCH_FEATURE else feature_step
+                if sub.kind == CommandKind.SAMPLE_SECONDARY:
+                    step = cmd.step  # same node's overflow read
+                    secondary_pages_read.add(sub.address.page)
+                children.append(
+                    PrepCommand(
+                        record=StageRecord(
+                            command_id=self._next_id(), hop=sub.hop
+                        ),
+                        page_index=sub.address.page,
+                        step=step,
+                        sampling=sub,
+                        node_id=-1,
+                    )
+                )
+        if cmd.sampling.kind == CommandKind.SAMPLE_PRIMARY:
+            node = self.image.node_at(cmd.sampling.address)
+            if self.platform.sampling_site == SamplingSite.HOST:
+                # Host-side sampling needs the node's *entire* neighbor
+                # list: every secondary page is read and shipped — the
+                # "transfer of full neighbor lists" SmartSage eliminates.
+                for addr in self.image.node_plans[node].secondary_addrs:
+                    if addr.page in secondary_pages_read:
+                        continue
+                    secondary_pages_read.add(addr.page)
+                    children.append(
+                        PrepCommand(
+                            record=StageRecord(
+                                command_id=self._next_id(), hop=cmd.sampling.hop
+                            ),
+                            page_index=addr.page,
+                            step=cmd.step,
+                            sampling=None,
+                            node_id=node,
+                            payload_kind="structure",
+                        )
+                    )
+                    self.meters.add("full_list_reads")
+            if not self.platform.feature_in_primary:
+                # without DirectGraph, the node's own feature vector is a
+                # separate feature-table read (DirectGraph co-locates it)
+                children.append(
+                    PrepCommand(
+                        record=StageRecord(
+                            command_id=self._next_id(), hop=cmd.sampling.hop
+                        ),
+                        page_index=self._feature_page_of(node),
+                        step=feature_step,
+                        sampling=None,
+                        node_id=node,
+                        payload_kind="feature",
+                    )
+                )
+        return children
+
+    # ------------------------------------------------------------ batch drivers
+
+    def acceleration_done_event(self):
+        """Event firing at the end of the current mini-batch (for the
+        Section VI-G regular-I/O deferral)."""
+        return self._accel_done
+
+    def prepare_batch(self, targets: List[int]):
+        """Process generator: full data preparation of one mini-batch."""
+        self.hop_timelines.append(HopTimeline())
+        self.in_acceleration = True
+        if self._accel_done.triggered:
+            self._accel_done = self.sim.event()
+        try:
+            if self.platform.hop_barrier:
+                yield from self._prepare_barrier(targets)
+            else:
+                yield from self._prepare_streaming(targets)
+        finally:
+            self.in_acceleration = False
+            done, self._accel_done = self._accel_done, self.sim.event()
+            done.succeed()
+
+    def _minibatch_kickoff(self, targets: List[int]):
+        """Host sends the mini-batch job (targets + addresses) to the SSD."""
+        host = self.ssd_config.host
+        yield from self.device.host_work(host.nvme_stack_s)
+        self.meters.add("host_busy_s", host.nvme_stack_s)
+        yield self.device.pcie.transfer(len(targets) * 2 * NODE_ID_BYTES)
+        self.meters.add("pcie_bytes", len(targets) * 2 * NODE_ID_BYTES)
+        yield from self.device.firmware_work(self.ssd_config.firmware.io_poller_s)
+
+    def _prepare_streaming(self, targets: List[int]):
+        """DirectGraph mode: out-of-order, no host in the loop."""
+        ctx = _BatchCtx(done=self.sim.event())
+        yield from self._minibatch_kickoff(targets)
+        issuer = "firmware"  # roots are seeded by the GNN engine
+        roots = [self._make_root(t) for t in dict.fromkeys(targets)]
+        for root in roots:
+            ctx.outstanding += 1
+            self.sim.process(
+                self._run_command(
+                    root, "router" if self.platform.hw_router else issuer, ctx
+                )
+            )
+        yield ctx.done
+
+    def _prepare_barrier(self, targets: List[int]):
+        """Host-managed mode: hop-by-hop with translation round trips."""
+        host = self.ssd_config.host
+        yield from self._minibatch_kickoff(targets)
+        # Host-side sampling issues each read as its own block request;
+        # offloaded sampling (SmartSage/BG-1/BG-SP) batches one customized
+        # NVMe command per hop, so per-read host costs disappear.
+        if self.platform.sampling_site == SamplingSite.HOST:
+            issuer = "host"
+        else:
+            issuer = "hop_batch"
+        current = [self._make_root(t) for t in dict.fromkeys(targets)]
+        deferred_features: List[PrepCommand] = []
+        final_round = False
+        while current:
+            if issuer == "hop_batch":
+                # the hop's batched request crosses the stack once
+                self.meters.add("nvme_requests")
+                yield from self.device.host_work(host.nvme_stack_s)
+                self.meters.add("host_busy_s", host.nvme_stack_s)
+                yield from self.device.firmware_work(
+                    self.ssd_config.firmware.io_poller_s
+                )
+            ctx = _BatchCtx(done=self.sim.event())
+            ctx.outstanding = len(current)
+            for cmd in current:
+                self.sim.process(self._run_command(cmd, issuer, ctx))
+            yield ctx.done
+            deferred_features.extend(ctx.deferred_features)
+            children = ctx.collected
+            if not children:
+                if deferred_features and not final_round:
+                    # the final step: retrieve every tree node's feature
+                    final_round = True
+                    current = deferred_features
+                    deferred_features = []
+                    continue
+                break
+            # results (sampled ids) return to the host ...
+            if self.platform.sampling_site != SamplingSite.HOST:
+                nbytes = len(children) * 2 * NODE_ID_BYTES
+                yield self.device.pcie.transfer(nbytes)
+                self.meters.add("pcie_bytes", nbytes)
+            # ... the host translates node indices to LPAs ...
+            translate = len(children) * host.translate_per_node_s
+            yield self.sim.timeout(translate / host.num_threads)
+            self.meters.add("host_busy_s", translate)
+            self.meters.add("host_translate_nodes", len(children))
+            # ... and the next hop's requests come back over PCIe
+            nbytes = len(children) * COMMAND_BASE_BYTES
+            yield self.device.pcie.transfer(nbytes)
+            self.meters.add("pcie_bytes", nbytes)
+            current = children

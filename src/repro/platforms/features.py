@@ -1,0 +1,80 @@
+"""Platform feature bundles (the six evaluated systems + two baselines).
+
+Every platform is one combination of four design axes (Section VII-A):
+
+* **sampling site** — who runs neighbor sampling: the host CPU, the SSD
+  firmware cores, or the die-level samplers;
+* **DirectGraph** — physical addressing inside the SSD (no per-hop
+  host round trip, no FTL lookup, out-of-order hops) vs host-managed
+  metadata (hop-by-hop barriers + translations);
+* **hardware router** — channel-level command routing (backend I/O
+  processed without firmware) vs firmware-scheduled flash I/O;
+* **compute site / feature path** — GNN computation on a discrete
+  PCIe accelerator (features must cross PCIe) or the SSD-internal spatial
+  accelerator (features stay inside).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlatformFeatures", "SamplingSite", "ComputeSite"]
+
+
+class SamplingSite:
+    HOST = "host"
+    FIRMWARE = "firmware"
+    DIE = "die"
+
+
+class ComputeSite:
+    DISCRETE = "discrete"
+    IN_SSD = "in_ssd"
+
+
+@dataclass(frozen=True)
+class PlatformFeatures:
+    """One evaluated system configuration."""
+
+    name: str
+    description: str
+    sampling_site: str
+    direct_graph: bool
+    hw_router: bool
+    compute_site: str
+    features_cross_pcie: bool  # does the feature data leave the SSD?
+    structure_cross_pcie: bool  # do neighbor-list pages leave the SSD?
+
+    def __post_init__(self) -> None:
+        if self.sampling_site not in (
+            SamplingSite.HOST,
+            SamplingSite.FIRMWARE,
+            SamplingSite.DIE,
+        ):
+            raise ValueError(f"bad sampling site {self.sampling_site!r}")
+        if self.compute_site not in (ComputeSite.DISCRETE, ComputeSite.IN_SSD):
+            raise ValueError(f"bad compute site {self.compute_site!r}")
+        if self.hw_router and not self.direct_graph:
+            raise ValueError(
+                "hardware routing requires DirectGraph addressing (the "
+                "router forwards physical section addresses)"
+            )
+        if self.hw_router and self.sampling_site != SamplingSite.DIE:
+            raise ValueError("hardware routing requires die-level samplers")
+        if self.sampling_site == SamplingSite.HOST and self.direct_graph:
+            raise ValueError("DirectGraph implies in-SSD sampling")
+
+    @property
+    def hop_barrier(self) -> bool:
+        """Without DirectGraph, every hop ends in a host round trip."""
+        return not self.direct_graph
+
+    @property
+    def die_sampling(self) -> bool:
+        return self.sampling_site == SamplingSite.DIE
+
+    @property
+    def feature_in_primary(self) -> bool:
+        """DirectGraph co-locates the feature vector with the neighbor
+        list, so primary-section reads return features for free."""
+        return self.direct_graph

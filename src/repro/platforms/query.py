@@ -1,0 +1,75 @@
+"""Real-time GNN query support (Section VIII, "Support for GNN query").
+
+GNN queries are small-batch inference requests where *latency* is
+critical. The paper argues BeaconGNN helps because it reduces host-SSD
+communication to a single round and avoids channel congestion. This
+module measures end-to-end per-query latency (data preparation plus
+computation, no cross-batch pipelining) for any platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..ssd.config import SSDConfig
+from ..workloads.specs import WorkloadSpec
+from .runner import PreparedWorkload, run_platform
+
+__all__ = ["QueryLatencyResult", "measure_query_latency"]
+
+
+@dataclass
+class QueryLatencyResult:
+    """Per-query latency statistics for one platform."""
+
+    platform: str
+    batch_size: int
+    latencies_s: List[float]
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+    @property
+    def p99_s(self) -> float:
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[index]
+
+
+def measure_query_latency(
+    platform: str,
+    workload: Union[WorkloadSpec, PreparedWorkload],
+    *,
+    num_queries: int = 8,
+    batch_size: int = 1,
+    num_hops: int = 3,
+    fanout: int = 3,
+    ssd_config: Optional[SSDConfig] = None,
+    seed: int = 0,
+) -> QueryLatencyResult:
+    """End-to-end latency of small inference batches.
+
+    Each query is simulated as its own run (prep + compute, nothing to
+    pipeline against), which is exactly the latency a single inference
+    request observes on an otherwise idle device.
+    """
+    if num_queries < 1:
+        raise ValueError("need at least one query")
+    latencies = []
+    for q in range(num_queries):
+        result = run_platform(
+            platform,
+            workload,
+            ssd_config=ssd_config,
+            batch_size=batch_size,
+            num_batches=1,
+            num_hops=num_hops,
+            fanout=fanout,
+            seed=seed + q,
+        )
+        latencies.append(result.total_seconds)
+    return QueryLatencyResult(
+        platform=platform, batch_size=batch_size, latencies_s=latencies
+    )

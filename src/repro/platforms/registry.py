@@ -1,0 +1,132 @@
+"""The eight evaluated systems (Section VII-A + prior-work baselines).
+
+===========  ========  ===========  ======  ========  ==================
+platform     sampling  DirectGraph  router  compute   PCIe traffic
+===========  ========  ===========  ======  ========  ==================
+cc           host      no           no      discrete  everything
+glist        host      no           no      in-SSD    structure pages
+smartsage    firmware  no           no      discrete  feature pages
+bg1          firmware  no           no      in-SSD    control only
+bg_dg        firmware  yes          no      in-SSD    control only
+bg_sp        die       no           no      in-SSD    control only
+bg_dgsp      die       yes          no      in-SSD    control only
+bg2          die       yes          yes     in-SSD    control only
+===========  ========  ===========  ======  ========  ==================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .features import ComputeSite, PlatformFeatures, SamplingSite
+
+__all__ = ["PLATFORMS", "platform_by_name", "platform_names", "BG_ORDER"]
+
+PLATFORMS: Dict[str, PlatformFeatures] = {
+    p.name: p
+    for p in [
+        PlatformFeatures(
+            name="cc",
+            description="CPU-centric baseline: host sampling, discrete "
+            "DNN accelerator, all data over PCIe",
+            sampling_site=SamplingSite.HOST,
+            direct_graph=False,
+            hw_router=False,
+            compute_site=ComputeSite.DISCRETE,
+            features_cross_pcie=True,
+            structure_cross_pcie=True,
+        ),
+        PlatformFeatures(
+            name="glist",
+            description="GLIST: feature lookup + GNN compute offloaded to "
+            "the SSD; sampling stays on the host",
+            sampling_site=SamplingSite.HOST,
+            direct_graph=False,
+            hw_router=False,
+            compute_site=ComputeSite.IN_SSD,
+            features_cross_pcie=False,
+            structure_cross_pcie=True,
+        ),
+        PlatformFeatures(
+            name="smartsage",
+            description="SmartSage: neighbor sampling offloaded to firmware; "
+            "features still travel to the discrete accelerator",
+            sampling_site=SamplingSite.FIRMWARE,
+            direct_graph=False,
+            hw_router=False,
+            compute_site=ComputeSite.DISCRETE,
+            features_cross_pcie=True,
+            structure_cross_pcie=False,
+        ),
+        PlatformFeatures(
+            name="bg1",
+            description="BeaconGNN-1.0: GLIST + SmartSage combined (firmware "
+            "sampling, in-SSD accelerator), hop-by-hop host control",
+            sampling_site=SamplingSite.FIRMWARE,
+            direct_graph=False,
+            hw_router=False,
+            compute_site=ComputeSite.IN_SSD,
+            features_cross_pcie=False,
+            structure_cross_pcie=False,
+        ),
+        PlatformFeatures(
+            name="bg_dg",
+            description="BG-1 + DirectGraph: out-of-order in-SSD sampling, "
+            "still page-granular channel transfer",
+            sampling_site=SamplingSite.FIRMWARE,
+            direct_graph=True,
+            hw_router=False,
+            compute_site=ComputeSite.IN_SSD,
+            features_cross_pcie=False,
+            structure_cross_pcie=False,
+        ),
+        PlatformFeatures(
+            name="bg_sp",
+            description="BG-1 + die-level samplers: only sampled data "
+            "crosses channels, hops still barrier on the host",
+            sampling_site=SamplingSite.DIE,
+            direct_graph=False,
+            hw_router=False,
+            compute_site=ComputeSite.IN_SSD,
+            features_cross_pcie=False,
+            structure_cross_pcie=False,
+        ),
+        PlatformFeatures(
+            name="bg_dgsp",
+            description="DirectGraph + die-level samplers (BG-DG + BG-SP)",
+            sampling_site=SamplingSite.DIE,
+            direct_graph=True,
+            hw_router=False,
+            compute_site=ComputeSite.IN_SSD,
+            features_cross_pcie=False,
+            structure_cross_pcie=False,
+        ),
+        PlatformFeatures(
+            name="bg2",
+            description="BeaconGNN-2.0: + channel-level command routers, "
+            "firmware-free backend I/O",
+            sampling_site=SamplingSite.DIE,
+            direct_graph=True,
+            hw_router=True,
+            compute_site=ComputeSite.IN_SSD,
+            features_cross_pcie=False,
+            structure_cross_pcie=False,
+        ),
+    ]
+}
+
+# The progression plotted across the evaluation figures.
+BG_ORDER: List[str] = ["cc", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+
+
+def platform_by_name(name: str) -> PlatformFeatures:
+    key = name.lower().replace("-", "_")
+    aliases = {"bg_2": "bg2", "bg_1": "bg1", "beacongnn": "bg2"}
+    key = aliases.get(key, key)
+    if key not in PLATFORMS:
+        raise KeyError(f"unknown platform {name!r}; available: {sorted(PLATFORMS)}")
+    return PLATFORMS[key]
+
+
+def platform_names() -> List[str]:
+    return list(PLATFORMS)

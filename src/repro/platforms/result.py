@@ -1,0 +1,143 @@
+"""Run results: everything the paper's figures are derived from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.stats import BusyTracker, HopTimeline, Meter, StageAggregator, active_count_series
+
+__all__ = ["BatchTiming", "RunResult"]
+
+
+@dataclass
+class BatchTiming:
+    """Start/end times of one mini-batch's pipeline stages."""
+
+    batch_index: int
+    prep_start: float
+    prep_end: float
+    compute_start: float = 0.0
+    compute_end: float = 0.0
+
+    @property
+    def prep_seconds(self) -> float:
+        return self.prep_end - self.prep_start
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.compute_end - self.compute_start
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one platform run."""
+
+    platform: str
+    workload: str
+    batch_size: int
+    num_batches: int
+    total_seconds: float
+    batches: List[BatchTiming]
+    stage_agg: StageAggregator
+    hop_timeline: HopTimeline
+    meters: Meter
+    die_trackers: List[BusyTracker] = field(default_factory=list)
+    channel_trackers: List[BusyTracker] = field(default_factory=list)
+    firmware_busy_seconds: float = 0.0
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+    background_io: Optional[object] = None  # BackgroundIoStats when enabled
+
+    # -- headline metrics ------------------------------------------------------
+
+    @property
+    def total_targets(self) -> int:
+        return self.batch_size * self.num_batches
+
+    @property
+    def throughput_targets_per_sec(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_targets / self.total_seconds
+
+    @property
+    def mean_prep_seconds(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.prep_seconds for b in self.batches) / len(self.batches)
+
+    @property
+    def mean_compute_seconds(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.compute_seconds for b in self.batches) / len(self.batches)
+
+    # -- utilization (Figure 15 a-e) -------------------------------------------
+
+    def die_utilization_series(self, bins: int = 40) -> Tuple[List[float], List[float]]:
+        return active_count_series(self.die_trackers, 0.0, self.total_seconds, bins)
+
+    def channel_utilization_series(
+        self, bins: int = 40
+    ) -> Tuple[List[float], List[float]]:
+        return active_count_series(
+            self.channel_trackers, 0.0, self.total_seconds, bins
+        )
+
+    def mean_active_dies(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        busy = sum(t.busy_time(0.0, self.total_seconds) for t in self.die_trackers)
+        return busy / self.total_seconds
+
+    def mean_active_channels(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        busy = sum(t.busy_time(0.0, self.total_seconds) for t in self.channel_trackers)
+        return busy / self.total_seconds
+
+    # -- latency breakdown (Figure 15f) ------------------------------------------
+
+    def latency_breakdown(self) -> Dict[str, float]:
+        """Mean per-batch, per-unit busy seconds for each subsystem.
+
+        Attribution follows the paper's Figure 15f categories: host
+        (software stack + translation + host sampling), PCIe transfer,
+        firmware processing, flash I/O (die reads, channel transfers),
+        DRAM, and accelerator compute. Each subsystem's total busy time is
+        divided by its unit count (threads/cores/dies/channels), so values
+        are comparable occupancy times; categories overlap in wall-clock
+        (the system is parallel).
+        """
+        n = max(1, len(self.batches))
+        total = self.total_seconds
+        flash = sum(t.busy_time(0.0, total) for t in self.die_trackers)
+        channel = sum(t.busy_time(0.0, total) for t in self.channel_trackers)
+        host_units = max(1.0, self.meters.get("host_threads"))
+        core_units = max(1.0, self.meters.get("fw_cores"))
+        die_units = max(1, len(self.die_trackers))
+        channel_units = max(1, len(self.channel_trackers))
+        return {
+            "host": self.meters.get("host_busy_s") / host_units / n,
+            "pcie": self.meters.get("pcie_busy_s") / n,
+            "firmware": self.firmware_busy_seconds / core_units / n,
+            "flash_read": flash / die_units / n,
+            "flash_transfer": channel / channel_units / n,
+            "dram": self.meters.get("dram_busy_s") / n,
+            "accelerator": self.meters.get("accel_busy_s") / n,
+        }
+
+    # -- command lifetime (Figure 17) ---------------------------------------------
+
+    def command_breakdown(self) -> Dict[str, float]:
+        return self.stage_agg.mean_breakdown()
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "throughput": self.throughput_targets_per_sec,
+            "prep_s": self.mean_prep_seconds,
+            "compute_s": self.mean_compute_seconds,
+            "active_dies": self.mean_active_dies(),
+            "active_channels": self.mean_active_channels(),
+            "hop_overlap": self.hop_timeline.overlap_fraction(),
+        }

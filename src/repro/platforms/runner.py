@@ -1,0 +1,181 @@
+"""Public entry point: run one platform on one workload, collect results.
+
+``run_platform("bg2", workload)`` builds the scaled graph + DirectGraph
+image, wires up the device and engines, simulates N pipelined
+mini-batches, and returns a fully-instrumented :class:`RunResult`.
+
+Building the image is the expensive part, so :class:`PreparedWorkload`
+lets benchmark harnesses build once and run all eight platforms on the
+same bytes — which is also what guarantees every platform samples
+identical subgraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..directgraph.address import AddressCodec
+from ..directgraph.builder import DirectGraphImage, build_directgraph
+from ..directgraph.spec import FormatSpec
+from ..energy.coefficients import EnergyCoefficients
+from ..energy.model import attribute_energy
+from ..gnn.features import ProceduralFeatureTable
+from ..gnn.graph import Graph
+from ..isc.commands import GnnTaskConfig
+from ..sim import Simulator
+from ..ssd.config import SSDConfig, ull_ssd
+from ..workloads.specs import WorkloadSpec
+from .compute import ComputeEngine
+from .datapath import DataPrepEngine
+from .features import ComputeSite, PlatformFeatures
+from .pipeline import PipelineRunner
+from .registry import platform_by_name
+from .result import RunResult
+
+__all__ = ["PreparedWorkload", "run_platform", "DEFAULT_SCALED_NODES"]
+
+DEFAULT_SCALED_NODES = 4096
+
+
+@dataclass
+class PreparedWorkload:
+    """A workload instantiated once and shared across platform runs."""
+
+    spec: WorkloadSpec
+    graph: Graph
+    features: ProceduralFeatureTable
+    image: DirectGraphImage
+
+    @classmethod
+    def prepare(
+        cls, spec: WorkloadSpec, page_size: int = 4096
+    ) -> "PreparedWorkload":
+        graph = spec.build_graph()
+        features = spec.build_features()
+        fmt = FormatSpec(
+            page_size=page_size,
+            feature_dim=spec.feature_dim,
+            codec=AddressCodec.for_geometry(1 << 40, page_size),
+        )
+        image = build_directgraph(graph, features, fmt)
+        return cls(spec=spec, graph=graph, features=features, image=image)
+
+
+def _pick_targets(
+    graph: Graph, batch_size: int, num_batches: int, seed: int
+) -> List[List[int]]:
+    rng = np.random.default_rng(seed)
+    return [
+        [
+            int(t)
+            for t in (
+                rng.choice(graph.num_nodes, size=batch_size, replace=False)
+                if graph.num_nodes >= batch_size
+                else rng.integers(0, graph.num_nodes, size=batch_size)
+            )
+        ]
+        for _ in range(num_batches)
+    ]
+
+
+def run_platform(
+    platform: Union[str, PlatformFeatures],
+    workload: Union[WorkloadSpec, PreparedWorkload],
+    *,
+    ssd_config: Optional[SSDConfig] = None,
+    batch_size: int = 64,
+    num_batches: int = 3,
+    num_hops: int = 3,
+    fanout: int = 3,
+    hidden_dim: int = 128,
+    seed: int = 0,
+    scaled_nodes: int = DEFAULT_SCALED_NODES,
+    energy_coefficients: Optional[EnergyCoefficients] = None,
+    pipeline_overlap: bool = True,
+    background_io: Optional["BackgroundIoConfig"] = None,
+) -> RunResult:
+    """Simulate ``num_batches`` pipelined mini-batches on one platform.
+
+    ``workload`` may be a raw :class:`WorkloadSpec` (it is scaled to
+    ``scaled_nodes`` and instantiated) or an already-:class:`PreparedWorkload`.
+    """
+    if isinstance(platform, str):
+        platform = platform_by_name(platform)
+    config = ssd_config or ull_ssd()
+    if isinstance(workload, WorkloadSpec):
+        spec = workload if workload.num_nodes <= scaled_nodes else workload.scaled(scaled_nodes)
+        prepared = PreparedWorkload.prepare(spec, page_size=config.flash.page_size)
+    else:
+        prepared = workload
+        if prepared.image.spec.page_size != config.flash.page_size:
+            raise ValueError(
+                f"prepared image page size {prepared.image.spec.page_size} "
+                f"differs from SSD page size {config.flash.page_size}"
+            )
+
+    task = GnnTaskConfig(
+        num_hops=num_hops,
+        fanout=fanout,
+        feature_dim=prepared.spec.feature_dim,
+        seed=seed,
+    )
+    sim = Simulator()
+    prep = DataPrepEngine(sim, config, platform, prepared.image, task)
+    compute = ComputeEngine(
+        sim, prep.device, platform, task, hidden_dim, prep.meters
+    )
+    runner = PipelineRunner(sim, prep, compute, overlap=pipeline_overlap)
+    injector = None
+    if background_io is not None:
+        from .background import BackgroundIoInjector
+
+        injector = BackgroundIoInjector(sim, prep, background_io)
+    batches = _pick_targets(prepared.graph, batch_size, num_batches, seed + 1)
+    done = runner.run(batches)
+    if injector is not None:
+        done.add_callback(lambda _ev: injector.stop())
+    sim.run()
+    if not done.triggered:
+        raise RuntimeError("pipeline did not finish (simulation stalled)")
+
+    prep.device.close_trackers()
+    total = sim.now
+    meters = prep.meters
+    meters.totals["pcie_busy_s"] = prep.device.pcie.tracker.busy_time(0.0, total)
+    meters.totals["dram_busy_s"] = prep.device.dram.tracker.busy_time(0.0, total)
+    meters.totals["host_threads"] = config.host.num_threads
+    meters.totals["fw_cores"] = config.firmware.num_cores
+
+    result = RunResult(
+        platform=platform.name,
+        workload=prepared.spec.name,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        total_seconds=total,
+        batches=runner.timings,
+        stage_agg=prep.stage_agg,
+        hop_timeline=prep.hop_timeline,
+        meters=meters,
+        die_trackers=prep.device.flash.die_trackers(),
+        channel_trackers=prep.device.flash.channel_trackers(),
+        firmware_busy_seconds=prep.device.firmware_busy_seconds(),
+    )
+    report = attribute_energy(
+        meters=meters.as_dict(),
+        firmware_busy_s=result.firmware_busy_seconds,
+        flash_busy_s=sum(t.busy_time(0.0, total) for t in result.die_trackers),
+        channel_bytes=prep.device.flash.channel_bytes,
+        total_seconds=total,
+        total_targets=result.total_targets,
+        coeff=energy_coefficients,
+    )
+    result.energy_breakdown = dict(report.categories)
+    result.meters.totals["energy_total_j"] = report.total_joules
+    result.meters.totals["energy_watts"] = report.average_watts
+    result.meters.totals["targets_per_joule"] = report.targets_per_joule
+    if injector is not None:
+        result.background_io = injector.stats
+    return result

@@ -1,0 +1,139 @@
+"""Computational storage arrays (Section VIII, "Practicality and future
+proof").
+
+The paper projects that multiple BeaconGNN SSDs connected by direct P2P
+links scale storage capacity and computation linearly. We model an
+N-device array:
+
+* the graph is hash-partitioned across devices; each device stores its
+  shard as an independent DirectGraph and serves the mini-batch targets
+  that hash to it;
+* a fraction of sampled neighbors land on a *remote* shard
+  (``cross_partition_fraction``); their primary-section reads are served
+  locally on the owning device, but the sampled feature vectors cross the
+  P2P link to the device that owns the target;
+* every device runs the standard BeaconGNN pipeline; the array's batch
+  time is the slowest device plus its P2P transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..gnn.sampling import tree_capacity
+from ..ssd.config import SSDConfig
+from ..workloads.specs import WorkloadSpec
+from .result import RunResult
+from .runner import PreparedWorkload, run_platform
+
+__all__ = ["P2pLink", "ScaleOutResult", "run_scaleout"]
+
+FP16_BYTES = 2
+
+
+@dataclass(frozen=True)
+class P2pLink:
+    """Direct SSD-to-SSD link (PCIe P2P class)."""
+
+    bandwidth_bps: float = 6.0e9
+    per_batch_sync_s: float = 5e-6  # array-level coordination per batch
+
+
+@dataclass
+class ScaleOutResult:
+    """Aggregate behaviour of an N-SSD BeaconGNN array."""
+
+    num_devices: int
+    per_device: List[RunResult]
+    cross_partition_fraction: float
+    p2p_seconds_per_batch: float
+    batch_seconds: float
+    total_targets: int
+    total_seconds: float
+
+    @property
+    def throughput_targets_per_sec(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_targets / self.total_seconds
+
+    def scaling_efficiency(self, single: "ScaleOutResult") -> float:
+        """Measured speedup over an ideal N x single-device array."""
+        ideal = single.throughput_targets_per_sec * self.num_devices
+        if ideal <= 0:
+            return 0.0
+        return self.throughput_targets_per_sec / ideal
+
+
+def run_scaleout(
+    num_devices: int,
+    platform: str,
+    workload: Union[WorkloadSpec, PreparedWorkload],
+    *,
+    batch_size: int = 64,
+    num_batches: int = 2,
+    num_hops: int = 3,
+    fanout: int = 3,
+    cross_partition_fraction: float = 0.1,
+    link: Optional[P2pLink] = None,
+    ssd_config: Optional[SSDConfig] = None,
+    seed: int = 0,
+) -> ScaleOutResult:
+    """Simulate an N-device BeaconGNN array on one workload.
+
+    Each device serves ``batch_size / num_devices`` targets per array
+    batch (rounded up) against its own shard; the array batch completes
+    when the slowest device finishes and the cross-shard feature traffic
+    has drained over the P2P links.
+    """
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    if not (0.0 <= cross_partition_fraction <= 1.0):
+        raise ValueError("cross_partition_fraction must be in [0, 1]")
+    link = link or P2pLink()
+
+    per_device_batch = max(1, -(-batch_size // num_devices))
+    devices: List[RunResult] = []
+    for shard in range(num_devices):
+        devices.append(
+            run_platform(
+                platform,
+                workload,
+                ssd_config=ssd_config,
+                batch_size=per_device_batch,
+                num_batches=num_batches,
+                num_hops=num_hops,
+                fanout=fanout,
+                seed=seed + shard,
+            )
+        )
+
+    # Cross-shard feature traffic: remote positions' vectors cross P2P.
+    if isinstance(workload, PreparedWorkload):
+        feature_dim = workload.spec.feature_dim
+    else:
+        feature_dim = workload.feature_dim
+    positions = tree_capacity((fanout,) * num_hops)
+    remote_vectors = per_device_batch * positions * cross_partition_fraction
+    p2p_bytes = remote_vectors * feature_dim * FP16_BYTES
+    p2p_seconds = (
+        p2p_bytes / link.bandwidth_bps + link.per_batch_sync_s
+        if num_devices > 1
+        else 0.0
+    )
+
+    slowest_batch = max(
+        (d.total_seconds / num_batches for d in devices), default=0.0
+    )
+    batch_seconds = slowest_batch + p2p_seconds
+    total_targets = per_device_batch * num_devices * num_batches
+    return ScaleOutResult(
+        num_devices=num_devices,
+        per_device=devices,
+        cross_partition_fraction=cross_partition_fraction,
+        p2p_seconds_per_batch=p2p_seconds,
+        batch_seconds=batch_seconds,
+        total_targets=total_targets,
+        total_seconds=batch_seconds * num_batches,
+    )

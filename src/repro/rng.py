@@ -1,0 +1,31 @@
+"""Counter-based deterministic randomness (shared leaf module).
+
+Both the reference GraphSage sampler (``repro.gnn.sampling``) and the
+on-die TRNG model (``repro.isc.trng``) key their draws with this one
+function, which is what makes out-of-order in-storage sampling provably
+equivalent to the in-order reference: a draw depends only on
+``(seed, *keys)``, never on execution order.
+"""
+
+from __future__ import annotations
+
+__all__ = ["splitmix64", "counter_draw"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """One round of the SplitMix64 mixing function (public-domain design)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def counter_draw(seed: int, *keys: int) -> int:
+    """A uniform 64-bit draw determined purely by ``(seed, *keys)``."""
+    state = splitmix64(int(seed) & _MASK64)
+    for key in keys:
+        state = splitmix64(state ^ (int(key) & _MASK64))
+    return state

@@ -1,0 +1,285 @@
+"""Discrete-event simulation kernel.
+
+A minimal process-based discrete-event simulator in the style of SimPy,
+purpose-built for the BeaconGNN SSD model. Time is a float in *seconds*.
+
+Processes are Python generators that ``yield`` :class:`Event` objects; the
+kernel resumes a process when the event it waits on fires. Events carry a
+value (delivered as the result of the ``yield``) or an exception (raised
+inside the process at the ``yield``).
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim):
+...     yield sim.timeout(1.0)
+...     log.append(sim.now)
+>>> _ = sim.process(worker(sim))
+>>> sim.run()
+>>> log
+[1.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, bad yield, deadlock checks)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* once via :meth:`succeed` or :meth:`fail`. All
+    registered callbacks run at the simulation time of the trigger.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True once triggered successfully."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.sim._dispatch(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception raised in waiting processes."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._exc = exc
+        self.sim._dispatch(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._processed:
+            # Already delivered: run at current time via the queue to keep
+            # deterministic ordering.
+            self.sim._call_soon(lambda: fn(self))
+        else:
+            self.callbacks.append(fn)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay from its creation time."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; itself an event that fires when the generator ends.
+
+    The value of the process-event is the generator's return value.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        super().__init__(sim)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        sim._call_soon(lambda: self._resume(None, None))
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # propagate into waiters of this process
+            if isinstance(err, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {type(target).__name__}, "
+                    "expected an Event"
+                )
+            )
+            return
+        target.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if event._exc is not None:
+            self._resume(None, event._exc)
+        else:
+            self._resume(event._value, None)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values.
+
+    Fails fast if any child fails.
+    """
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            sim._call_soon(lambda: self.succeed([]))
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._children):
+            ev.add_callback(lambda event, i=i: self._on_child(i, event))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed((index, event._value))
+
+
+class Simulator:
+    """The event loop: a time-ordered queue of triggered events."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._soon: list[tuple[float, int, Callable[[], None]]] = []
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def _dispatch(self, event: Event) -> None:
+        """Queue a just-triggered event for callback delivery."""
+        self._schedule(event, 0.0)
+
+    def _call_soon(self, fn: Callable[[], None], delay: float = 0.0) -> None:
+        ev = Event(self)
+        ev.add_callback(lambda _ev: fn())
+        ev._triggered = True
+        self._schedule(ev, delay)
+
+    # -- public API ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered event (a manual rendezvous point)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator; returns its process-event."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        while self._queue:
+            at, _seq, event = self._queue[0]
+            if until is not None and at > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            if at < self.now:
+                raise SimulationError("time went backwards")
+            self.now = at
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, []
+            for fn in callbacks:
+                fn(event)
+            if (
+                isinstance(event, Process)
+                and event._exc is not None
+                and not callbacks
+            ):
+                # A process died and nobody was waiting on it: surface the
+                # error instead of silently deadlocking dependents.
+                raise event._exc
+        if until is not None:
+            self.now = max(self.now, until)

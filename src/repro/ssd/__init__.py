@@ -1,0 +1,64 @@
+"""SSD architecture: configs, flash backend timing, FTL, reliability."""
+
+from .config import (
+    DieSamplerConfig,
+    DramConfig,
+    FirmwareConfig,
+    FlashConfig,
+    HostConfig,
+    HwRouterConfig,
+    PcieConfig,
+    SSDConfig,
+    traditional_ssd,
+    ull_ssd,
+)
+from .device import SsdDevice
+from .firmware_pipeline import (
+    FirmwarePipeline,
+    HardwarePipeline,
+    PipelineRequest,
+    drive_backend,
+)
+from .firmware_runtime import FirmwareMode, FirmwareRuntime, MinibatchResult
+from .flash import DieExecution, FlashBackend, FlashDieModel, FlashJob
+from .ftl import BlockState, Ftl, FtlError
+from .nvme import NvmeCommand, NvmeCompletion, Opcode, QueueFullError, QueuePair, Status
+from .reliability import ScrubReport, Scrubber, WearReclaimer, relocate_image
+
+__all__ = [
+    "FlashConfig",
+    "FirmwareConfig",
+    "DieSamplerConfig",
+    "HwRouterConfig",
+    "DramConfig",
+    "PcieConfig",
+    "HostConfig",
+    "SSDConfig",
+    "ull_ssd",
+    "traditional_ssd",
+    "SsdDevice",
+    "FlashBackend",
+    "FlashDieModel",
+    "FlashJob",
+    "DieExecution",
+    "Ftl",
+    "FtlError",
+    "BlockState",
+    "Scrubber",
+    "ScrubReport",
+    "WearReclaimer",
+    "relocate_image",
+    "FirmwarePipeline",
+    "HardwarePipeline",
+    "PipelineRequest",
+    "drive_backend",
+    "FirmwareRuntime",
+    "FirmwareMode",
+    "MinibatchResult",
+    "QueuePair",
+    "NvmeCommand",
+    "NvmeCompletion",
+    "Opcode",
+    "Status",
+    "QueueFullError",
+]

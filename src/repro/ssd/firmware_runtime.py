@@ -1,0 +1,394 @@
+"""Functional firmware runtime: the SSD side of the BeaconGNN protocol.
+
+Implements the flash-firmware behaviours of Sections VI-A, VI-D, VI-E and
+VI-G over the NVMe transport:
+
+* **regular-I/O mode** — standard READ/WRITE served through the FTL;
+* **DirectGraph management** — reserved-block hand-out, page flushes with
+  *containment verification* (write destination and every embedded section
+  address must stay inside the reserved blocks), block release;
+* **acceleration mode** — a mini-batch job runs in phases (verify ->
+  sample -> compute); regular storage requests arriving meanwhile are
+  deferred to the end of the current mini-batch, exactly as Section VI-G
+  specifies. The page table (FTL mapping) stays in DRAM throughout, so
+  deferred requests are served immediately afterwards;
+* **runtime checks** — target addresses are verified per mini-batch, and
+  on-die section-header faults abort the job with an error completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+import numpy as np
+
+from ..directgraph.reader import DirectGraphFormatError, decode_page
+from ..directgraph.spec import (
+    FormatSpec,
+    PAGE_TYPE_PRIMARY,
+    SECTION_TYPE_PRIMARY,
+)
+from ..gnn.model import GnnModel
+from ..gnn.sampling import SampledSubgraph
+from ..isc.commands import CommandKind, GnnTaskConfig, SamplingCommand
+from ..isc.sampler import DieSampler, SamplerFault, reconstruct_subgraphs
+from .config import FlashConfig
+from .ftl import Ftl, FtlError
+from .nvme import NvmeCommand, Opcode, QueuePair, Status
+
+__all__ = ["FirmwareMode", "FirmwareRuntime", "MinibatchResult"]
+
+
+class FirmwareMode:
+    REGULAR_IO = "regular_io"
+    ACCELERATION = "acceleration"
+
+
+@dataclass
+class MinibatchResult:
+    """What a BEACON_MINIBATCH completion carries back to the host."""
+
+    subgraphs: Dict[int, SampledSubgraph]
+    embeddings: Optional[Dict[int, np.ndarray]]
+    page_reads: int
+
+
+@dataclass
+class _MinibatchJob:
+    command: NvmeCommand
+    targets: List[int]
+    addresses: List[int]  # packed primary-section addresses
+    phase: int = 0  # 0 verify, 1 sample, 2 compute
+    queue: List[SamplingCommand] = field(default_factory=list)
+    records: list = field(default_factory=list)
+    features: Dict[int, bytes] = field(default_factory=dict)
+    page_reads: int = 0
+    error: Optional[Status] = None
+
+
+class FirmwareRuntime:
+    """Single-threaded functional firmware over one queue pair."""
+
+    def __init__(
+        self,
+        queue: QueuePair,
+        flash: Optional[FlashConfig] = None,
+        total_blocks: int = 4096,
+        format_spec: Optional[FormatSpec] = None,
+    ) -> None:
+        self.queue = queue
+        self.flash = flash or FlashConfig()
+        self.ftl = Ftl(self.flash, total_blocks)
+        self.format_spec = format_spec or FormatSpec(
+            page_size=self.flash.page_size
+        )
+        self.mode = FirmwareMode.REGULAR_IO
+        self._pages: Dict[int, bytes] = {}  # flash media content by PPA
+        self._regular_store: Dict[int, bytes] = {}  # by PPA (regular writes)
+        self._reserved_pages: Set[int] = set()
+        self._reserved_blocks: List[int] = []
+        self._task: Optional[GnnTaskConfig] = None
+        self._model: Optional[GnnModel] = None
+        self._sampler: Optional[DieSampler] = None
+        self._active_job: Optional[_MinibatchJob] = None
+        self._deferred: List[NvmeCommand] = []
+        # statistics
+        self.pages_flushed = 0
+        self.flush_rejections = 0
+        self.reads_served = 0
+        self.writes_served = 0
+        self.deferred_served = 0
+        self.minibatches_run = 0
+
+    # -- main loop ---------------------------------------------------------------
+
+    def process_one(self) -> bool:
+        """One firmware scheduling slot; returns True if progress was made."""
+        command = self.queue.fetch()
+        if command is not None:
+            self._dispatch(command)
+            return True
+        if self._active_job is not None:
+            self._advance_job()
+            return True
+        return False
+
+    def process_all(self, limit: int = 100_000) -> int:
+        """Run scheduling slots until fully idle; returns slots used."""
+        slots = 0
+        while slots < limit and self.process_one():
+            slots += 1
+        if slots >= limit:  # pragma: no cover - defensive
+            raise RuntimeError("firmware runtime did not quiesce")
+        return slots
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _dispatch(self, command: NvmeCommand) -> None:
+        if command.opcode in (Opcode.READ, Opcode.WRITE):
+            if self.mode == FirmwareMode.ACCELERATION:
+                # Section VI-G: regular requests wait for the mini-batch
+                self._deferred.append(command)
+                return
+            self._serve_regular(command)
+            return
+        handlers = {
+            Opcode.BEACON_GET_BLOCKS: self._handle_get_blocks,
+            Opcode.BEACON_FLUSH_PAGE: self._handle_flush,
+            Opcode.BEACON_CONFIGURE: self._handle_configure,
+            Opcode.BEACON_LOAD_MODEL: self._handle_load_model,
+            Opcode.BEACON_MINIBATCH: self._handle_minibatch,
+            Opcode.BEACON_RELEASE_BLOCKS: self._handle_release,
+        }
+        handler = handlers.get(command.opcode)
+        if handler is None:
+            self.queue.complete(command, Status.INVALID_FIELD)
+            return
+        handler(command)
+
+    # -- regular I/O path -------------------------------------------------------------
+
+    def _serve_regular(self, command: NvmeCommand) -> None:
+        try:
+            if command.opcode == Opcode.WRITE:
+                data = command.payload or b""
+                if len(data) > self.flash.page_size:
+                    self.queue.complete(command, Status.INVALID_FIELD)
+                    return
+                ppa = self.ftl.write(command.lba)
+                self._regular_store[ppa] = bytes(data)
+                self.writes_served += 1
+                self.queue.complete(command, Status.SUCCESS, result=ppa)
+            else:
+                ppa = self.ftl.translate(command.lba)
+                self.reads_served += 1
+                self.queue.complete(
+                    command,
+                    Status.SUCCESS,
+                    result=self._regular_store.get(ppa, b""),
+                )
+        except FtlError:
+            self.queue.complete(command, Status.LBA_OUT_OF_RANGE)
+
+    # -- DirectGraph management (Section VI-A) ---------------------------------------
+
+    def _handle_get_blocks(self, command: NvmeCommand) -> None:
+        count = int(command.payload or 0)
+        if count < 1:
+            self.queue.complete(command, Status.INVALID_FIELD)
+            return
+        try:
+            blocks = self.ftl.reserve_blocks(count)
+        except FtlError:
+            self.queue.complete(command, Status.LBA_OUT_OF_RANGE)
+            return
+        self._reserved_blocks.extend(blocks)
+        self._reserved_pages.update(self.ftl.ppa_list(blocks))
+        self.queue.complete(command, Status.SUCCESS, result=list(blocks))
+
+    def _handle_flush(self, command: NvmeCommand) -> None:
+        """Flush one DirectGraph page with Section VI-E verification."""
+        ppa = command.lba
+        data = command.payload
+        if not isinstance(data, (bytes, bytearray)) or len(data) != self.flash.page_size:
+            self.queue.complete(command, Status.INVALID_FIELD)
+            return
+        if ppa not in self._reserved_pages:
+            self.flush_rejections += 1
+            self.queue.complete(command, Status.ACCESS_DENIED)
+            return
+        violation = self._embedded_addresses_escape(bytes(data))
+        if violation:
+            self.flush_rejections += 1
+            self.queue.complete(command, Status.ACCESS_DENIED, result=violation)
+            return
+        self._pages[ppa] = bytes(data)
+        self.pages_flushed += 1
+        self.ftl.record_reserved_program([ppa // self.ftl.pages_per_block])
+        self.queue.complete(command, Status.SUCCESS)
+
+    def _embedded_addresses_escape(self, data: bytes) -> Optional[str]:
+        """First containment violation among the page's section addresses."""
+        spec = self.format_spec
+        try:
+            decoded = decode_page(spec, data)
+        except DirectGraphFormatError as err:
+            return f"malformed page: {err}"
+        for section in decoded.sections:
+            addrs = []
+            if hasattr(section, "secondary_addrs"):
+                addrs += section.secondary_addrs
+                addrs += section.inline_neighbor_addrs
+            else:
+                addrs += section.neighbor_addrs
+            for addr in addrs:
+                if addr.page not in self._reserved_pages:
+                    return f"address {addr} escapes DirectGraph blocks"
+        return None
+
+    def _handle_release(self, command: NvmeCommand) -> None:
+        try:
+            self.ftl.release_blocks(list(self._reserved_blocks))
+        except FtlError:
+            self.queue.complete(command, Status.INTERNAL_ERROR)
+            return
+        for block in self._reserved_blocks:
+            start = block * self.ftl.pages_per_block
+            for ppa in range(start, start + self.ftl.pages_per_block):
+                self._pages.pop(ppa, None)
+                self._reserved_pages.discard(ppa)
+        self._reserved_blocks.clear()
+        self.queue.complete(command, Status.SUCCESS)
+
+    # -- task setup -----------------------------------------------------------------
+
+    def _handle_configure(self, command: NvmeCommand) -> None:
+        if not isinstance(command.payload, GnnTaskConfig):
+            self.queue.complete(command, Status.INVALID_FIELD)
+            return
+        if command.payload.feature_dim != self.format_spec.feature_dim:
+            self.queue.complete(command, Status.INVALID_FIELD)
+            return
+        self._task = command.payload
+        self._sampler = DieSampler(self.format_spec, self._task)
+        self.queue.complete(command, Status.SUCCESS)
+
+    def _handle_load_model(self, command: NvmeCommand) -> None:
+        if not isinstance(command.payload, GnnModel):
+            self.queue.complete(command, Status.INVALID_FIELD)
+            return
+        self._model = command.payload
+        self.queue.complete(command, Status.SUCCESS)
+
+    # -- acceleration mode (Sections VI-D, VI-G) ----------------------------------------
+
+    def _handle_minibatch(self, command: NvmeCommand) -> None:
+        if self._task is None or self._sampler is None:
+            self.queue.complete(command, Status.INVALID_FIELD)
+            return
+        if self._active_job is not None:
+            self.queue.complete(command, Status.DEVICE_BUSY)
+            return
+        payload = command.payload or {}
+        targets = list(payload.get("targets", []))
+        addresses = list(payload.get("addresses", []))
+        if not targets or len(targets) != len(addresses):
+            self.queue.complete(command, Status.INVALID_FIELD)
+            return
+        self.mode = FirmwareMode.ACCELERATION
+        self._active_job = _MinibatchJob(
+            command=command, targets=targets, addresses=addresses
+        )
+
+    def _advance_job(self) -> None:
+        job = self._active_job
+        assert job is not None
+        if job.phase == 0:
+            self._job_verify(job)
+        elif job.phase == 1:
+            self._job_sample(job)
+        else:
+            self._job_compute(job)
+
+    def _fail_job(self, job: _MinibatchJob, status: Status, detail: str = "") -> None:
+        self.queue.complete(job.command, status, result=detail)
+        self._finish_job()
+
+    def _finish_job(self) -> None:
+        self._active_job = None
+        self.mode = FirmwareMode.REGULAR_IO
+        deferred, self._deferred = self._deferred, []
+        for command in deferred:
+            self.deferred_served += 1
+            self._serve_regular(command)
+
+    def _job_verify(self, job: _MinibatchJob) -> None:
+        """Per-mini-batch target-address verification (Section VI-E)."""
+        codec = self.format_spec.codec
+        for target, packed in zip(job.targets, job.addresses):
+            addr = codec.unpack(packed)
+            if addr.page not in self._reserved_pages or addr.page not in self._pages:
+                self._fail_job(
+                    job, Status.ACCESS_DENIED, f"target {target} at {addr} escapes"
+                )
+                return
+            raw = self._pages[addr.page]
+            if raw[0] != PAGE_TYPE_PRIMARY or addr.section >= raw[1]:
+                self._fail_job(
+                    job, Status.ACCESS_DENIED, f"target {target} at {addr} invalid"
+                )
+                return
+            job.queue.append(
+                SamplingCommand(
+                    kind=CommandKind.SAMPLE_PRIMARY,
+                    address=addr,
+                    target=target,
+                    hop=0,
+                    position=0,
+                )
+            )
+        job.phase = 1
+
+    def _job_sample(self, job: _MinibatchJob) -> None:
+        """Drain the sampling command pool over the flushed pages."""
+        assert self._sampler is not None
+        try:
+            while job.queue:
+                command = job.queue.pop(0)
+                raw = self._pages.get(command.address.page)
+                if raw is None:
+                    raise SamplerFault(
+                        f"page {command.address.page} not in DirectGraph"
+                    )
+                result = self._sampler.execute(raw, command)
+                job.page_reads += 1
+                if result.record is not None:
+                    job.records.append(result.record)
+                if result.feature_bytes is not None:
+                    job.features[
+                        result.record.node_id if result.record else -1
+                    ] = result.feature_bytes
+                job.queue.extend(result.children)
+        except SamplerFault as fault:
+            # Section VI-E: the sampler stops; control returns to firmware
+            self._fail_job(job, Status.ACCESS_DENIED, str(fault))
+            return
+        job.phase = 2
+
+    def _job_compute(self, job: _MinibatchJob) -> None:
+        assert self._task is not None
+        subgraphs = reconstruct_subgraphs(job.records, self._task)
+        embeddings = None
+        if self._model is not None:
+            features = _CollectedFeatures(
+                job.features, self.format_spec.feature_dim
+            )
+            embeddings = {
+                target: self._model.forward_subgraph(sg, features)
+                for target, sg in subgraphs.items()
+            }
+        self.minibatches_run += 1
+        self.queue.complete(
+            job.command,
+            Status.SUCCESS,
+            result=MinibatchResult(
+                subgraphs=subgraphs,
+                embeddings=embeddings,
+                page_reads=job.page_reads,
+            ),
+        )
+        self._finish_job()
+
+
+class _CollectedFeatures:
+    """FeatureTable facade over the vectors gathered during sampling."""
+
+    def __init__(self, by_node: Dict[int, bytes], dim: int) -> None:
+        self._by_node = by_node
+        self.dim = dim
+        self.num_nodes = (max(by_node) + 1) if by_node else 0
+
+    def vector(self, node: int) -> np.ndarray:
+        raw = self._by_node[node]
+        return np.frombuffer(raw, dtype=np.float16, count=self.dim)

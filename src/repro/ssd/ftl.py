@@ -1,0 +1,227 @@
+"""Flash translation layer with DirectGraph block reservation (Section VI-A).
+
+A page-mapped FTL over the device's blocks with:
+
+* regular out-of-place writes + greedy garbage collection;
+* per-block program/erase (P/E) counters (feeds wear leveling);
+* a **reserved-block interface**: the host fetches a list of physical
+  blocks for DirectGraph, which are then marked unusable inside the FTL —
+  excluded from allocation and GC, invisible to regular I/O. This is the
+  customized-NVMe/ioctl manipulation path the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .config import FlashConfig
+
+__all__ = ["BlockState", "Ftl", "FtlError"]
+
+
+class FtlError(RuntimeError):
+    """Illegal FTL operation (out of space, bad address, isolation breach)."""
+
+
+@dataclass
+class BlockState:
+    block_id: int
+    erase_count: int = 0
+    write_cursor: int = 0  # next free page slot within the block
+    valid: Set[int] = field(default_factory=set)  # in-block page slots valid
+    reserved: bool = False  # pinned for DirectGraph
+
+
+class Ftl:
+    """Page-mapped FTL over ``total_blocks`` blocks."""
+
+    def __init__(
+        self,
+        config: FlashConfig,
+        total_blocks: int,
+        gc_threshold_free_blocks: int = 2,
+    ) -> None:
+        if total_blocks < 4:
+            raise ValueError("need at least 4 blocks")
+        self.config = config
+        self.total_blocks = total_blocks
+        self.pages_per_block = config.pages_per_block
+        self.blocks: List[BlockState] = [BlockState(i) for i in range(total_blocks)]
+        self.mapping: Dict[int, int] = {}  # LPA -> PPA
+        self.reverse: Dict[int, int] = {}  # PPA -> LPA
+        self._free_blocks: List[int] = list(range(total_blocks))
+        self._active: Optional[BlockState] = None
+        self.gc_threshold = gc_threshold_free_blocks
+        self.gc_runs = 0
+        self.pages_migrated = 0
+        self._collecting = False
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _ppa(self, block_id: int, slot: int) -> int:
+        return block_id * self.pages_per_block + slot
+
+    def _block_of(self, ppa: int) -> BlockState:
+        return self.blocks[ppa // self.pages_per_block]
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free_blocks)
+
+    def capacity_pages(self) -> int:
+        usable = sum(1 for b in self.blocks if not b.reserved)
+        return usable * self.pages_per_block
+
+    # -- reserved blocks for DirectGraph ----------------------------------------
+
+    def reserve_blocks(self, count: int) -> List[int]:
+        """Pin ``count`` clean blocks for DirectGraph; they leave the FTL."""
+        if count > len(self._free_blocks):
+            raise FtlError(
+                f"cannot reserve {count} blocks; only "
+                f"{len(self._free_blocks)} free"
+            )
+        reserved = []
+        for _ in range(count):
+            block_id = self._free_blocks.pop(0)
+            self.blocks[block_id].reserved = True
+            reserved.append(block_id)
+        return reserved
+
+    def reserved_blocks(self) -> List[int]:
+        return [b.block_id for b in self.blocks if b.reserved]
+
+    def ppa_list(self, block_ids: List[int]) -> List[int]:
+        """All page addresses of the given reserved blocks, in order —
+        the ``ppa_list`` input of Algorithm 1."""
+        out = []
+        for block_id in block_ids:
+            if not self.blocks[block_id].reserved:
+                raise FtlError(f"block {block_id} is not reserved")
+            out.extend(
+                self._ppa(block_id, slot) for slot in range(self.pages_per_block)
+            )
+        return out
+
+    def release_blocks(self, block_ids: List[int]) -> None:
+        """Return reserved blocks to regular FTL management (erased)."""
+        for block_id in block_ids:
+            block = self.blocks[block_id]
+            if not block.reserved:
+                raise FtlError(f"block {block_id} is not reserved")
+            block.reserved = False
+            block.erase_count += 1
+            block.write_cursor = 0
+            block.valid.clear()
+            self._free_blocks.append(block_id)
+
+    def record_reserved_program(self, block_ids: List[int]) -> None:
+        """Count one P/E cycle on reserved blocks (DirectGraph flush)."""
+        for block_id in block_ids:
+            self.blocks[block_id].erase_count += 1
+
+    def is_reserved_ppa(self, ppa: int) -> bool:
+        return self._block_of(ppa).reserved
+
+    # -- regular I/O path --------------------------------------------------------
+
+    def _take_active_block(self) -> BlockState:
+        if self._active is not None and self._active.write_cursor < self.pages_per_block:
+            return self._active
+        if not self._free_blocks:
+            self._collect_garbage()
+        if not self._free_blocks:
+            raise FtlError("device full: no free blocks after GC")
+        self._active = self.blocks[self._free_blocks.pop(0)]
+        return self._active
+
+    def write(self, lpa: int) -> int:
+        """Out-of-place write: returns the new PPA; invalidates the old."""
+        if lpa < 0:
+            raise FtlError("negative LPA")
+        old = self.mapping.get(lpa)
+        if old is not None:
+            old_block = self._block_of(old)
+            old_block.valid.discard(old % self.pages_per_block)
+            del self.reverse[old]
+        block = self._take_active_block()
+        slot = block.write_cursor
+        block.write_cursor += 1
+        block.valid.add(slot)
+        ppa = self._ppa(block.block_id, slot)
+        self.mapping[lpa] = ppa
+        self.reverse[ppa] = lpa
+        if len(self._free_blocks) < self.gc_threshold:
+            self._collect_garbage()
+        return ppa
+
+    def translate(self, lpa: int) -> int:
+        """LPA -> PPA for reads (the Figure 3 step 2)."""
+        try:
+            return self.mapping[lpa]
+        except KeyError:
+            raise FtlError(f"LPA {lpa} is unmapped")
+
+    def _collect_garbage(self) -> None:
+        """Greedy GC: reclaim the non-reserved full block with the fewest
+        valid pages. Fully-valid blocks are never victims (migrating them
+        frees nothing), and GC never re-enters itself."""
+        if self._collecting:
+            return
+        self._collecting = True
+        try:
+            candidates = [
+                b
+                for b in self.blocks
+                if not b.reserved
+                and b is not self._active
+                and b.block_id not in self._free_blocks
+                and b.write_cursor == self.pages_per_block
+                and len(b.valid) < self.pages_per_block
+            ]
+            if not candidates:
+                return
+            victim = min(candidates, key=lambda b: len(b.valid))
+            self.gc_runs += 1
+            # migrate valid pages to the active block
+            for slot in sorted(victim.valid):
+                ppa = self._ppa(victim.block_id, slot)
+                lpa = self.reverse.pop(ppa)
+                block = self._take_active_block()
+                new_slot = block.write_cursor
+                block.write_cursor += 1
+                block.valid.add(new_slot)
+                new_ppa = self._ppa(block.block_id, new_slot)
+                self.mapping[lpa] = new_ppa
+                self.reverse[new_ppa] = lpa
+                self.pages_migrated += 1
+            victim.valid.clear()
+            victim.write_cursor = 0
+            victim.erase_count += 1
+            self._free_blocks.append(victim.block_id)
+        finally:
+            self._collecting = False
+
+    def ensure_free_blocks(self, count: int) -> bool:
+        """Run GC until ``count`` blocks are free (or no progress is made)."""
+        while self.free_block_count < count:
+            before = self.free_block_count
+            self._collect_garbage()
+            if self.free_block_count <= before:
+                return False
+        return True
+
+    # -- wear statistics -----------------------------------------------------------
+
+    def erase_counts(self) -> Dict[int, int]:
+        return {b.block_id: b.erase_count for b in self.blocks}
+
+    def wear_gap(self) -> int:
+        """Max P/E discrepancy between regular and reserved blocks
+        (the Section VI-F reclamation trigger)."""
+        regular = [b.erase_count for b in self.blocks if not b.reserved]
+        reserved = [b.erase_count for b in self.blocks if b.reserved]
+        if not regular or not reserved:
+            return 0
+        return max(0, max(regular) - min(reserved))

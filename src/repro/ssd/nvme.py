@@ -1,0 +1,188 @@
+"""NVMe-style transport between host and SSD (Figure 3's control plane).
+
+Functional model of the queue-pair machinery the paper's host interface
+uses: bounded submission/completion rings with doorbell indices, standard
+READ/WRITE opcodes, and the customized BeaconGNN commands Section VI-A
+exposes through ioctl:
+
+* ``BEACON_GET_BLOCKS``  — fetch a list of reserved physical blocks;
+* ``BEACON_FLUSH_PAGE``  — write one DirectGraph page to a physical page
+  (bypassing the FTL), subject to the Section VI-E containment checks;
+* ``BEACON_CONFIGURE``   — set the global GNN task configuration;
+* ``BEACON_LOAD_MODEL``  — install model weights for the in-SSD
+  spatial accelerator;
+* ``BEACON_MINIBATCH``   — run one mini-batch job (targets + primary
+  section addresses) entirely in storage;
+* ``BEACON_RELEASE_BLOCKS`` — return DirectGraph blocks to the FTL.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import IntEnum
+from itertools import count
+from typing import Any, Deque, Optional
+
+__all__ = [
+    "Opcode",
+    "Status",
+    "NvmeCommand",
+    "NvmeCompletion",
+    "QueuePair",
+    "QueueFullError",
+]
+
+
+class Opcode(IntEnum):
+    READ = 0x02
+    WRITE = 0x01
+    BEACON_GET_BLOCKS = 0xC0
+    BEACON_FLUSH_PAGE = 0xC1
+    BEACON_CONFIGURE = 0xC2
+    BEACON_LOAD_MODEL = 0xC3
+    BEACON_MINIBATCH = 0xC4
+    BEACON_RELEASE_BLOCKS = 0xC5
+
+
+class Status(IntEnum):
+    SUCCESS = 0x0
+    INVALID_FIELD = 0x2
+    LBA_OUT_OF_RANGE = 0x80
+    ACCESS_DENIED = 0x86  # containment-check violation (Section VI-E)
+    DEVICE_BUSY = 0x6
+    INTERNAL_ERROR = 0x8
+
+
+@dataclass(frozen=True)
+class NvmeCommand:
+    """One submission-queue entry."""
+
+    command_id: int
+    opcode: Opcode
+    lba: int = 0  # logical address for READ/WRITE, PPA for FLUSH
+    payload: Any = None  # data/parameters carried with the command
+
+
+@dataclass(frozen=True)
+class NvmeCompletion:
+    """One completion-queue entry."""
+
+    command_id: int
+    status: Status
+    result: Any = None
+
+
+class QueueFullError(RuntimeError):
+    """Submission with no free slot (the host must back off)."""
+
+
+@dataclass
+class _Ring:
+    depth: int
+    entries: Deque = field(default_factory=deque)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries
+
+
+class QueuePair:
+    """A bounded submission/completion queue pair with doorbells.
+
+    The host ``submit()``s commands (ringing the SQ doorbell) and
+    ``poll()``s completions; the device side ``fetch()``es submissions and
+    ``complete()``s them. Depths model the real ring-buffer bound.
+    """
+
+    def __init__(self, depth: int = 64) -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self._sq = _Ring(depth)
+        self._cq = _Ring(depth)
+        self._ids = count(1)
+        self.sq_doorbell = 0  # total commands submitted
+        self.cq_doorbell = 0  # total completions consumed
+        self.in_flight = 0
+
+    # -- host side -------------------------------------------------------------
+
+    def submit(self, opcode: Opcode, lba: int = 0, payload: Any = None) -> int:
+        """Enqueue a command; returns its command id."""
+        if self._sq.full or self.in_flight >= self.depth:
+            raise QueueFullError(
+                f"submission queue full (depth {self.depth})"
+            )
+        command_id = next(self._ids)
+        self._sq.entries.append(
+            NvmeCommand(command_id=command_id, opcode=opcode, lba=lba, payload=payload)
+        )
+        self.sq_doorbell += 1
+        self.in_flight += 1
+        return command_id
+
+    def poll(self) -> Optional[NvmeCompletion]:
+        """Consume the oldest completion, if any."""
+        if self._cq.empty:
+            return None
+        completion = self._cq.entries.popleft()
+        self.cq_doorbell += 1
+        self.in_flight -= 1
+        return completion
+
+    def wait_for(self, command_id: int) -> NvmeCompletion:
+        """Drain completions until ``command_id``'s arrives.
+
+        Functional helper: raises if the completion never shows up (the
+        device must already have processed the submission).
+        """
+        skipped = []
+        while True:
+            completion = self.poll()
+            if completion is None:
+                # put skipped entries back in order before failing
+                for entry in reversed(skipped):
+                    self._cq.entries.appendleft(entry)
+                    self.cq_doorbell -= 1
+                    self.in_flight += 1
+                raise LookupError(f"no completion for command {command_id}")
+            if completion.command_id == command_id:
+                for entry in reversed(skipped):
+                    self._cq.entries.appendleft(entry)
+                    self.cq_doorbell -= 1
+                    self.in_flight += 1
+                return completion
+            skipped.append(completion)
+
+    # -- device side -------------------------------------------------------------
+
+    def fetch(self) -> Optional[NvmeCommand]:
+        """Device: take the next submitted command (the I/O poller)."""
+        if self._sq.empty:
+            return None
+        return self._sq.entries.popleft()
+
+    def complete(
+        self, command: NvmeCommand, status: Status, result: Any = None
+    ) -> None:
+        """Device: post the completion for a fetched command."""
+        if self._cq.full:  # pragma: no cover - in_flight bound prevents this
+            raise QueueFullError("completion queue overflow")
+        self._cq.entries.append(
+            NvmeCompletion(
+                command_id=command.command_id, status=status, result=result
+            )
+        )
+
+    @property
+    def pending_submissions(self) -> int:
+        return len(self._sq.entries)
+
+    @property
+    def pending_completions(self) -> int:
+        return len(self._cq.entries)

@@ -1,0 +1,13 @@
+"""Table III workload registry and specification types."""
+
+from .registry import WORKLOADS, workload_by_name, workload_names
+from .specs import FEATURE_ELEM_BYTES, NODE_ID_BYTES, WorkloadSpec
+
+__all__ = [
+    "WORKLOADS",
+    "workload_by_name",
+    "workload_names",
+    "WorkloadSpec",
+    "NODE_ID_BYTES",
+    "FEATURE_ELEM_BYTES",
+]

@@ -1,0 +1,91 @@
+"""Workload specifications (the paper's Table III benchmarks).
+
+The paper scales five PyG datasets to hundreds of GBs following SmartSage's
+methodology. We capture each benchmark as a :class:`WorkloadSpec` — node
+count, average degree, degree-distribution family, and feature dimension —
+and synthesize graphs with that shape on demand. Full-scale raw sizes are
+derived analytically (they match the paper's Table IV raw-size column);
+simulations run on scaled-down instantiations with identical shape.
+
+Feature dimensions follow the paper's qualitative statements: reddit and
+PPI are high-dimensional (their channel-transfer time dominates), while
+movielens and OGBN are short (die reads dominate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..gnn.features import ProceduralFeatureTable
+from ..gnn.generators import power_law_graph, uniform_random_graph
+from ..gnn.graph import Graph
+
+__all__ = ["WorkloadSpec", "NODE_ID_BYTES", "FEATURE_ELEM_BYTES"]
+
+NODE_ID_BYTES = 4  # INT-32 node ids (Section VII-A)
+FEATURE_ELEM_BYTES = 2  # FP-16 features (Section VII-A)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape parameters of one GNN benchmark."""
+
+    name: str
+    num_nodes: int
+    avg_degree: float
+    feature_dim: int
+    degree_family: str = "powerlaw"  # "powerlaw" | "uniform"
+    degree_exponent: float = 2.1
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.avg_degree < 1:
+            raise ValueError("avg_degree must be >= 1")
+        if self.feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        if self.degree_family not in ("powerlaw", "uniform"):
+            raise ValueError(f"unknown degree family {self.degree_family!r}")
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def feature_bytes(self) -> int:
+        return self.feature_dim * FEATURE_ELEM_BYTES
+
+    @property
+    def raw_bytes_per_node(self) -> float:
+        """Raw storage per node: CSR neighbor list + feature vector."""
+        return self.feature_bytes + self.avg_degree * NODE_ID_BYTES
+
+    @property
+    def raw_size_bytes(self) -> float:
+        return self.num_nodes * self.raw_bytes_per_node
+
+    @property
+    def raw_size_gb(self) -> float:
+        return self.raw_size_bytes / 1e9
+
+    # -- instantiation --------------------------------------------------------
+
+    def scaled(self, num_nodes: int) -> "WorkloadSpec":
+        """Same shape at a different node count (for tractable simulation)."""
+        return replace(self, num_nodes=num_nodes)
+
+    def build_graph(self) -> Graph:
+        if self.degree_family == "uniform":
+            return uniform_random_graph(self.num_nodes, self.avg_degree, self.seed)
+        return power_law_graph(
+            self.num_nodes,
+            self.avg_degree,
+            exponent=self.degree_exponent,
+            seed=self.seed,
+        )
+
+    def build_features(self) -> ProceduralFeatureTable:
+        return ProceduralFeatureTable(self.num_nodes, self.feature_dim, self.seed)
+
+    def instantiate(self) -> Tuple[Graph, ProceduralFeatureTable]:
+        return self.build_graph(), self.build_features()

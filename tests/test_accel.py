@@ -1,0 +1,118 @@
+"""Tests for the spatial accelerator timing models."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorSpec,
+    SystolicArray,
+    VectorArray,
+    discrete_accelerator,
+    map_minibatch,
+    ssd_accelerator,
+)
+from repro.gnn import minibatch_compute_shapes
+
+
+class TestSystolicArray:
+    def test_single_tile_cycles(self):
+        arr = SystolicArray(4, 4, 1e9)
+        # one 4x4 output tile, K=8: K + R + C - 2 = 8 + 4 + 4 - 2
+        assert arr.gemm_cycles(4, 8, 4) == 14
+
+    def test_tiling_multiplies(self):
+        arr = SystolicArray(4, 4, 1e9)
+        one = arr.gemm_cycles(4, 8, 4)
+        assert arr.gemm_cycles(8, 8, 8) == 4 * one
+        assert arr.gemm_cycles(5, 8, 4) == 2 * one  # ragged M rounds up
+
+    def test_zero_dims_cost_nothing(self):
+        arr = SystolicArray(4, 4, 1e9)
+        assert arr.gemm_cycles(0, 8, 4) == 0
+
+    def test_seconds_scale_with_frequency(self):
+        fast = SystolicArray(8, 8, 2e9).gemm(64, 64, 64)
+        slow = SystolicArray(8, 8, 1e9).gemm(64, 64, 64)
+        assert slow.seconds == pytest.approx(2 * fast.seconds)
+
+    def test_macs_counted(self):
+        cost = SystolicArray(8, 8, 1e9).gemm(16, 32, 8)
+        assert cost.macs == 16 * 32 * 8
+
+    def test_utilization_bounded(self):
+        cost = SystolicArray(32, 32, 1e9).gemm(128, 128, 128)
+        assert 0.0 < cost.utilization <= 1.0
+
+    def test_bigger_array_fewer_cycles_large_gemm(self):
+        small = SystolicArray(8, 8, 1e9).gemm_cycles(512, 512, 512)
+        large = SystolicArray(64, 64, 1e9).gemm_cycles(512, 512, 512)
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 4, 1e9)
+        with pytest.raises(ValueError):
+            SystolicArray(4, 4, 0)
+        with pytest.raises(ValueError):
+            SystolicArray(4, 4, 1e9).gemm_cycles(-1, 2, 2)
+
+
+class TestVectorArray:
+    def test_cycles_rounding(self):
+        v = VectorArray(64, 1e9)
+        assert v.aggregate_cycles(1, 64) == 1
+        assert v.aggregate_cycles(1, 65) == 2
+        assert v.aggregate_cycles(0, 128) == 0
+
+    def test_adds_counted(self):
+        cost = VectorArray(64, 1e9).aggregate(10, 128)
+        assert cost.adds == 1280
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorArray(0, 1e9)
+        with pytest.raises(ValueError):
+            VectorArray(4, 1e9).aggregate_cycles(-1, 4)
+
+
+class TestMapper:
+    def shapes(self, batch=64):
+        return minibatch_compute_shapes(
+            batch_size=batch, fanouts=(3, 3, 3), feature_dim=200,
+            hidden_dim=128, num_layers=3,
+        )
+
+    def test_plan_covers_all_layers(self):
+        plan = map_minibatch(ssd_accelerator(), self.shapes())
+        assert len(plan.layers) == 3
+        assert plan.seconds > 0
+
+    def test_discrete_faster_than_ssd_accel(self):
+        """The TPU-like device has ~16x the MACs of the SSD accelerator."""
+        shapes = self.shapes(batch=256)
+        ssd = map_minibatch(ssd_accelerator(), shapes)
+        tpu = map_minibatch(discrete_accelerator(), shapes)
+        assert tpu.seconds < ssd.seconds
+
+    def test_compute_scales_with_batch(self):
+        small = map_minibatch(ssd_accelerator(), self.shapes(batch=32))
+        big = map_minibatch(ssd_accelerator(), self.shapes(batch=256))
+        assert big.seconds > small.seconds
+        assert big.macs == 8 * small.macs
+
+    def test_energy_positive_and_scales(self):
+        spec = ssd_accelerator()
+        small = map_minibatch(spec, self.shapes(batch=32)).energy_joules(spec)
+        big = map_minibatch(spec, self.shapes(batch=64)).energy_joules(spec)
+        assert 0 < small < big
+
+    def test_dram_traffic_accounts_inputs_outputs(self):
+        plan = map_minibatch(ssd_accelerator(), self.shapes(batch=1))
+        # layer 1: 13 rows in (dim 200) + 13 rows out (dim 128), fp16
+        expected_l1 = 13 * 200 * 2 + 13 * 128 * 2
+        got_l1 = plan.layers[0].input_bytes + plan.layers[0].output_bytes
+        assert got_l1 == expected_l1
+
+    def test_minibatch_compute_time_is_sub_millisecond(self):
+        """The paper's model is tiny; compute must not dominate data prep."""
+        plan = map_minibatch(ssd_accelerator(), self.shapes(batch=64))
+        assert plan.seconds < 1e-3

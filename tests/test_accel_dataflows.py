@@ -1,0 +1,47 @@
+"""Tests for the WS/IS systolic dataflows (ScaleSim's other mappings)."""
+
+import pytest
+
+from repro.accel import Dataflow, SystolicArray
+
+
+class TestDataflows:
+    def test_ws_single_tile(self):
+        arr = SystolicArray(4, 4, 1e9, dataflow=Dataflow.WEIGHT_STATIONARY)
+        # one 4x4 weight tile (K=4, N=4), streaming M=8: 8 + 4 + 4 - 2
+        assert arr.gemm_cycles(8, 4, 4) == 14
+
+    def test_is_single_tile(self):
+        arr = SystolicArray(4, 4, 1e9, dataflow=Dataflow.INPUT_STATIONARY)
+        # one 4x4 input tile (K=4, M=4), streaming N=8
+        assert arr.gemm_cycles(4, 4, 8) == 14
+
+    def test_ws_tiles_over_k_and_n(self):
+        arr = SystolicArray(4, 4, 1e9, dataflow=Dataflow.WEIGHT_STATIONARY)
+        one = arr.gemm_cycles(8, 4, 4)
+        assert arr.gemm_cycles(8, 8, 8) == 4 * one
+
+    def test_dataflows_agree_on_macs(self):
+        for df in Dataflow:
+            cost = SystolicArray(8, 8, 1e9, dataflow=df).gemm(16, 32, 8)
+            assert cost.macs == 16 * 32 * 8
+
+    def test_tall_skinny_gemm_prefers_ws(self):
+        """GNN updates are tall-skinny (M >> K=N): WS streams the tall M
+        dimension through one weight tile and wins over OS tiling."""
+        m, k, n = 4096, 128, 128
+        os_cycles = SystolicArray(
+            32, 32, 1e9, dataflow=Dataflow.OUTPUT_STATIONARY
+        ).gemm_cycles(m, k, n)
+        ws_cycles = SystolicArray(
+            32, 32, 1e9, dataflow=Dataflow.WEIGHT_STATIONARY
+        ).gemm_cycles(m, k, n)
+        assert ws_cycles < os_cycles
+
+    def test_zero_dims_all_dataflows(self):
+        for df in Dataflow:
+            arr = SystolicArray(4, 4, 1e9, dataflow=df)
+            assert arr.gemm_cycles(0, 4, 4) == 0
+
+    def test_default_is_output_stationary(self):
+        assert SystolicArray(4, 4, 1e9).dataflow is Dataflow.OUTPUT_STATIONARY

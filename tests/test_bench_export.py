@@ -1,0 +1,53 @@
+"""Tests for JSON/CSV result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench import result_to_dict, write_json, write_series_csv
+from repro.platforms import PreparedWorkload, run_platform
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def result():
+    prepared = PreparedWorkload.prepare(workload_by_name("ogbn").scaled(512))
+    return run_platform("bg2", prepared, batch_size=8, num_batches=2)
+
+
+class TestResultToDict:
+    def test_contains_headline_metrics(self, result):
+        data = result_to_dict(result)
+        assert data["platform"] == "bg2"
+        assert data["throughput_targets_per_sec"] > 0
+        assert len(data["batches"]) == 2
+        assert "wait_before_flash" in data["command_breakdown"]
+
+    def test_json_serializable(self, result):
+        json.dumps(result_to_dict(result))  # must not raise
+
+    def test_series_lengths(self, result):
+        data = result_to_dict(result, series_bins=17)
+        assert len(data["utilization"]["die_time"]) == 17
+        assert len(data["utilization"]["die_active"]) == 17
+
+
+class TestWriters:
+    def test_write_single_json(self, result, tmp_path):
+        path = write_json(result, tmp_path / "run.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["workload"] == "ogbn"
+
+    def test_write_many_json(self, result, tmp_path):
+        path = write_json([result, result], tmp_path / "runs.json")
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded, list) and len(loaded) == 2
+
+    def test_write_series_csv(self, result, tmp_path):
+        path = write_series_csv(result, tmp_path / "util.csv", bins=12)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["time_s", "active_dies", "active_channels"]
+        assert len(rows) == 13
+        assert float(rows[1][1]) >= 0.0

@@ -1,0 +1,58 @@
+"""Tests for benchmark-harness formatting helpers."""
+
+import pytest
+
+from repro.bench import format_series, format_table, geomean, normalize
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.50" in out and "22.25" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_large_and_small_floats_compact(self):
+        out = format_table(["v"], [[123456.0], [0.000123]])
+        assert "1.23e+05" in out
+        assert "0.000123" in out
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+
+class TestFormatSeries:
+    def test_bars_scale_to_peak(self):
+        out = format_series("s", [0, 1], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0] == "s"
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert "(empty)" in format_series("s", [], [])
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        out = normalize({"a": 2.0, "b": 6.0}, "a")
+        assert out == {"a": 1.0, "b": 3.0}
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0}, "a")

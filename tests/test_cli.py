@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_parses(self):
+        args = build_parser().parse_args(
+            ["run", "bg2", "amazon", "--nodes", "512", "--batch", "8"]
+        )
+        assert args.command == "run"
+        assert args.platform == "bg2"
+        assert args.nodes == 512
+
+    def test_sweep_knob_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "nonsense"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "bg2" in out and "amazon" in out
+
+    def test_run(self, capsys):
+        code = main(
+            ["run", "bg2", "ogbn", "--nodes", "512", "--batch", "8", "--batches", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_run_traditional_flag(self, capsys):
+        code = main(
+            [
+                "run", "bg_dgsp", "ogbn", "--nodes", "512", "--batch", "8",
+                "--batches", "1", "--traditional",
+            ]
+        )
+        assert code == 0
+
+    def test_inflate(self, capsys):
+        assert main(["inflate", "--nodes", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "ogbn" in out
+
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "sweep", "cores", "--workload", "ogbn", "--nodes", "512",
+                "--batch", "8", "--batches", "1", "--platforms", "bg2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep cores" in out
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "bogus", "amazon", "--nodes", "512"])
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "bg2", "bogus", "--nodes", "512"])

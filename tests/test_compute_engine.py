@@ -1,0 +1,75 @@
+"""Unit tests for the compute-stage engine (in-SSD vs discrete paths)."""
+
+import pytest
+
+from repro.isc import GnnTaskConfig
+from repro.platforms import platform_by_name
+from repro.platforms.compute import ComputeEngine
+from repro.sim import Simulator
+from repro.ssd import DieExecution, SsdDevice, ull_ssd
+from repro.sim.stats import Meter
+
+
+def make_engine(platform_name, batch_task=None):
+    sim = Simulator()
+    device = SsdDevice(sim, ull_ssd(), lambda job: DieExecution(0.0, 4096))
+    task = batch_task or GnnTaskConfig(
+        num_hops=3, fanout=3, feature_dim=128, seed=0
+    )
+    meters = Meter()
+    engine = ComputeEngine(
+        sim, device, platform_by_name(platform_name), task, 128, meters
+    )
+    return sim, device, engine, meters
+
+
+class TestComputeEngine:
+    def test_in_ssd_uses_dram_not_pcie(self):
+        sim, device, engine, meters = make_engine("bg2")
+
+        def proc(sim):
+            yield from engine.compute_batch(32)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert meters.get("dram_bytes") > 0
+        assert meters.get("pcie_bytes") == 0
+        assert device.pcie.bytes_moved == 0
+
+    def test_discrete_ships_features_over_pcie(self):
+        sim, device, engine, meters = make_engine("cc")
+
+        def proc(sim):
+            yield from engine.compute_batch(32)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert meters.get("pcie_bytes") == engine.batch_feature_bytes(32)
+        assert device.pcie.bytes_moved > 0
+
+    def test_batch_feature_bytes_formula(self):
+        _sim, _device, engine, _meters = make_engine("cc")
+        # 40 tree positions x 128 dims x 2 bytes per target
+        assert engine.batch_feature_bytes(1) == 40 * 128 * 2
+        assert engine.batch_feature_bytes(64) == 64 * 40 * 128 * 2
+
+    def test_accel_meters_populated(self):
+        sim, _device, engine, meters = make_engine("bg2")
+
+        def proc(sim):
+            yield from engine.compute_batch(16)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert meters.get("accel_busy_s") > 0
+        assert meters.get("accel_macs") > 0
+        assert meters.get("accel_energy_j") > 0
+
+    def test_discrete_accelerator_computes_faster(self):
+        _sim, _d, ssd_engine, _m = make_engine("bg2")
+        _sim2, _d2, tpu_engine, _m2 = make_engine("cc")
+        assert tpu_engine.plan(128).seconds < ssd_engine.plan(128).seconds
+
+    def test_compute_time_scales_with_batch(self):
+        _sim, _d, engine, _m = make_engine("bg2")
+        assert engine.plan(256).seconds > engine.plan(32).seconds

@@ -1,0 +1,116 @@
+"""Accounting invariants of the datapath: who reads/moves/samples what.
+
+These pin down the *mechanism* differences between platforms, not just
+their relative throughput.
+"""
+
+import pytest
+
+from repro.platforms import PLATFORMS, PreparedWorkload, run_platform
+from repro.workloads import workload_by_name
+
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def runs():
+    prepared = PreparedWorkload.prepare(workload_by_name("amazon").scaled(1024))
+    return {
+        name: run_platform(name, prepared, batch_size=BATCH, num_batches=1)
+        for name in PLATFORMS
+    }
+
+
+class TestSamplingSiteCounters:
+    def test_host_sampling_only_on_host_platforms(self, runs):
+        for name in ("cc", "glist"):
+            assert runs[name].meters.get("host_sample_neighbors") > 0, name
+        for name in ("smartsage", "bg1", "bg_sp", "bg2"):
+            assert runs[name].meters.get("host_sample_neighbors") == 0, name
+
+    def test_firmware_sampling_only_on_firmware_platforms(self, runs):
+        for name in ("smartsage", "bg1", "bg_dg"):
+            assert runs[name].meters.get("fw_sample_neighbors") > 0, name
+        for name in ("cc", "glist", "bg_sp", "bg_dgsp", "bg2"):
+            assert runs[name].meters.get("fw_sample_neighbors") == 0, name
+
+    def test_die_sampling_only_on_die_platforms(self, runs):
+        for name in ("bg_sp", "bg_dgsp", "bg2"):
+            assert runs[name].meters.get("die_sample_neighbors") > 0, name
+        for name in ("cc", "glist", "smartsage", "bg1", "bg_dg"):
+            assert runs[name].meters.get("die_sample_neighbors") == 0, name
+
+    def test_every_platform_samples_the_same_neighbor_count(self, runs):
+        """Same functional work regardless of where it executes."""
+        totals = {
+            name: (
+                run.meters.get("host_sample_neighbors")
+                + run.meters.get("fw_sample_neighbors")
+                + run.meters.get("die_sample_neighbors")
+            )
+            for name, run in runs.items()
+        }
+        assert len(set(totals.values())) == 1, totals
+
+
+class TestFullListReads:
+    def test_only_host_sampling_reads_full_lists(self, runs):
+        for name in ("cc", "glist"):
+            # power-law amazon shape guarantees some overflow nodes
+            assert runs[name].meters.get("full_list_reads") > 0, name
+        for name in ("smartsage", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"):
+            assert runs[name].meters.get("full_list_reads") == 0, name
+
+
+class TestPcieTraffic:
+    def test_cc_moves_pages_bg_moves_control(self, runs):
+        assert runs["cc"].meters.get("pcie_bytes") > 50 * runs["bg2"].meters.get(
+            "pcie_bytes"
+        )
+
+    def test_glist_keeps_features_inside(self, runs):
+        assert runs["glist"].meters.get("pcie_bytes") < runs["cc"].meters.get(
+            "pcie_bytes"
+        )
+
+    def test_smartsage_ships_packed_vectors(self, runs):
+        """SmartSage's PCIe traffic is far below CC's raw pages but above
+        the BG designs' control-only traffic."""
+        ss = runs["smartsage"].meters.get("pcie_bytes")
+        assert ss < runs["cc"].meters.get("pcie_bytes")
+        assert ss > runs["bg1"].meters.get("pcie_bytes")
+
+
+class TestFlashReads:
+    def test_directgraph_avoids_separate_feature_reads(self, runs):
+        """DirectGraph co-locates features with structure: fewer reads."""
+        assert runs["bg_dg"].meters.get("flash_reads") < runs["bg1"].meters.get(
+            "flash_reads"
+        )
+
+    def test_die_and_page_platforms_read_same_structure(self, runs):
+        """BG-SP reads the same pages as BG-1 (sampling site does not
+        change which pages are touched)."""
+        assert runs["bg_sp"].meters.get("flash_reads") == runs["bg1"].meters.get(
+            "flash_reads"
+        )
+
+
+class TestRouterAndNvme:
+    def test_router_counters_only_on_bg2(self, runs):
+        assert runs["bg2"].meters.get("router_commands") > 0
+        assert runs["bg2"].meters.get("router_parses") > 0
+        for name in ("cc", "bg1", "bg_dgsp"):
+            assert runs[name].meters.get("router_commands") == 0, name
+
+    def test_per_read_nvme_only_on_host_sampling(self, runs):
+        """CC issues one NVMe request per read; offloaded platforms batch
+        per hop (or per mini-batch with DirectGraph)."""
+        assert runs["cc"].meters.get("nvme_requests") > BATCH * 10
+        assert runs["bg1"].meters.get("nvme_requests") < 10
+        assert runs["bg2"].meters.get("nvme_requests") <= 2
+
+    def test_dram_bytes_page_vs_sampled(self, runs):
+        assert runs["bg1"].meters.get("dram_bytes") > 5 * runs["bg_dgsp"].meters.get(
+            "dram_bytes"
+        )

@@ -1,0 +1,69 @@
+"""Tests for the 4-byte section address codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.directgraph import AddressCodec, SectionAddress
+
+
+class TestAddressCodec:
+    def test_paper_geometry(self):
+        """1 TB SSD with 4 KB pages -> 28 page bits, 4 section bits."""
+        codec = AddressCodec.for_geometry(1 << 40, 4096)
+        assert codec.page_bits == 28
+        assert codec.section_bits == 4
+        assert codec.max_sections_per_page == 16
+
+    def test_larger_pages_give_more_section_bits(self):
+        """The paper: larger pages -> more bits for section indexing."""
+        codec = AddressCodec.for_geometry(1 << 40, 16384)
+        assert codec.page_bits == 26
+        assert codec.section_bits == 6
+        assert codec.max_sections_per_page == 64
+
+    def test_pack_unpack_roundtrip(self):
+        codec = AddressCodec()
+        addr = SectionAddress(page=123456, section=7)
+        assert codec.unpack(codec.pack(addr)) == addr
+
+    def test_bytes_roundtrip(self):
+        codec = AddressCodec()
+        addr = SectionAddress(page=(1 << 28) - 1, section=15)
+        raw = codec.pack_bytes(addr)
+        assert len(raw) == 4
+        assert codec.unpack_bytes(raw) == addr
+
+    def test_out_of_range_page_rejected(self):
+        codec = AddressCodec()
+        with pytest.raises(ValueError):
+            codec.pack(SectionAddress(page=1 << 28, section=0))
+
+    def test_out_of_range_section_rejected(self):
+        codec = AddressCodec()
+        with pytest.raises(ValueError):
+            codec.pack(SectionAddress(page=0, section=16))
+
+    def test_bits_must_total_32(self):
+        with pytest.raises(ValueError):
+            AddressCodec(page_bits=28, section_bits=5)
+
+    def test_bad_byte_length(self):
+        with pytest.raises(ValueError):
+            AddressCodec().unpack_bytes(b"\x00\x01\x02")
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            AddressCodec.for_geometry(0, 4096)
+        with pytest.raises(ValueError):
+            AddressCodec.for_geometry(4096, 4096)  # a single page
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        page=st.integers(min_value=0, max_value=(1 << 28) - 1),
+        section=st.integers(min_value=0, max_value=15),
+    )
+    def test_roundtrip_property(self, page, section):
+        codec = AddressCodec()
+        addr = SectionAddress(page, section)
+        assert codec.unpack_bytes(codec.pack_bytes(addr)) == addr

@@ -1,0 +1,83 @@
+"""Fuzz tests: malformed pages never crash decoders or the die sampler.
+
+Corrupted flash content must surface as DirectGraphFormatError (host
+path) or SamplerFault (on-die path, Section VI-E's runtime check) —
+never as a bare IndexError/ValueError/struct garbage.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.directgraph import (
+    DirectGraphFormatError,
+    FormatSpec,
+    build_directgraph,
+    decode_page,
+    decode_section,
+)
+from repro.gnn import DenseFeatureTable, power_law_graph
+from repro.isc import CommandKind, DieSampler, GnnTaskConfig, SamplerFault, SamplingCommand
+
+SPEC = FormatSpec(page_size=512, feature_dim=4)
+
+
+def built_image():
+    graph = power_law_graph(40, 8.0, seed=3)
+    feats = DenseFeatureTable.random(40, 4, seed=0)
+    return graph, build_directgraph(graph, feats, SPEC)
+
+
+class TestDecoderFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.binary(min_size=512, max_size=512))
+    def test_random_page_never_crashes(self, data):
+        try:
+            decode_page(SPEC, data)
+        except DirectGraphFormatError:
+            pass  # rejection is the expected failure mode
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        byte_offset=st.integers(min_value=0, max_value=511),
+        new_value=st.integers(min_value=0, max_value=255),
+        section=st.integers(min_value=0, max_value=15),
+    )
+    def test_single_byte_corruption_contained(self, byte_offset, new_value, section):
+        _graph, image = built_image()
+        raw = bytearray(image.page_bytes(0))
+        raw[byte_offset] = new_value
+        try:
+            decode_section(SPEC, bytes(raw), section)
+        except DirectGraphFormatError:
+            pass
+
+    def test_wrong_size_page_rejected(self):
+        with pytest.raises(DirectGraphFormatError):
+            decode_page(SPEC, b"\x00" * 100)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        byte_offset=st.integers(min_value=0, max_value=511),
+        new_value=st.integers(min_value=0, max_value=255),
+    )
+    def test_sampler_faults_cleanly_on_corruption(self, byte_offset, new_value):
+        """The on-die path: corruption -> SamplerFault (or a valid read if
+        the flipped byte was immaterial), never anything else."""
+        _graph, image = built_image()
+        config = GnnTaskConfig(num_hops=2, fanout=2, feature_dim=4, seed=0)
+        sampler = DieSampler(image.spec, config)
+        addr = image.address_of(0)
+        raw = bytearray(image.page_bytes(addr.page))
+        raw[byte_offset] = new_value
+        command = SamplingCommand(
+            kind=CommandKind.SAMPLE_PRIMARY,
+            address=addr,
+            target=0,
+            hop=0,
+            position=0,
+        )
+        try:
+            sampler.execute(bytes(raw), command)
+        except SamplerFault:
+            pass

@@ -1,0 +1,97 @@
+"""Tests for Section VI-E containment verification."""
+
+import pytest
+
+from repro.directgraph import (
+    SectionAddress,
+    build_directgraph,
+    verify_image,
+    verify_targets,
+)
+from repro.directgraph.spec import FormatSpec
+from repro.gnn import DenseFeatureTable, power_law_graph, ring_of_cliques
+
+
+def build(graph, dim=4, page_size=512):
+    features = DenseFeatureTable.random(graph.num_nodes, dim, seed=0)
+    spec = FormatSpec(page_size=page_size, feature_dim=dim)
+    return build_directgraph(graph, features, spec)
+
+
+class TestVerifyImage:
+    def test_clean_image_passes(self):
+        image = build(power_law_graph(100, 10.0, seed=1), page_size=1024)
+        report = verify_image(image)
+        assert report.ok, report.violations
+
+    def test_clean_image_with_secondaries_passes(self):
+        from repro.gnn import Graph
+
+        lists = [[j % 10 for j in range(300)]] + [[0]] * 9
+        image = build(Graph.from_neighbor_lists(lists))
+        assert verify_image(image).ok
+
+    def test_tampered_neighbor_address_detected(self):
+        image = build(ring_of_cliques(3, 5))
+        # overwrite the first neighbor entry of page 0's first section with
+        # an address far outside the image
+        raw = bytearray(image.page_bytes(0))
+        offset = int.from_bytes(raw[2:4], "little")
+        from repro.directgraph.spec import PRIMARY_HEADER_BYTES
+
+        evil = image.spec.codec.pack(SectionAddress(page=2_000_000, section=0))
+        at = offset + PRIMARY_HEADER_BYTES + image.spec.feature_bytes
+        raw[at : at + 4] = evil.to_bytes(4, "little")
+        image.pages[0] = bytes(raw)
+        report = verify_image(image)
+        assert not report.ok
+        assert any(v.kind == "escape" for v in report.violations)
+
+    def test_corrupt_section_type_detected(self):
+        image = build(ring_of_cliques(3, 5))
+        raw = bytearray(image.page_bytes(0))
+        offset = int.from_bytes(raw[2:4], "little")
+        raw[offset] = 99  # invalid section type
+        image.pages[0] = bytes(raw)
+        report = verify_image(image)
+        assert any(v.kind == "format" for v in report.violations)
+
+    def test_plan_only_image_rejected(self):
+        from repro.directgraph import build_directgraph as bd
+
+        g = ring_of_cliques(2, 3)
+        image = bd(g, None, FormatSpec(page_size=512, feature_dim=4), serialize=False)
+        with pytest.raises(ValueError):
+            verify_image(image)
+
+
+class TestVerifyTargets:
+    def test_valid_targets_pass(self):
+        image = build(ring_of_cliques(3, 5))
+        addrs = [image.address_of(v) for v in (0, 3, 7)]
+        assert verify_targets(image, addrs).ok
+
+    def test_outside_address_rejected(self):
+        image = build(ring_of_cliques(3, 5))
+        report = verify_targets(image, [SectionAddress(page=10**6, section=0)])
+        assert not report.ok
+        assert report.violations[0].kind == "escape"
+
+    def test_secondary_page_target_rejected(self):
+        from repro.gnn import Graph
+
+        lists = [[j % 10 for j in range(300)]] + [[0]] * 9
+        image = build(Graph.from_neighbor_lists(lists))
+        sec_pages = [
+            p.page_index for p in image.page_plans if p.page_type == 2
+        ]
+        assert sec_pages, "test graph must produce secondary pages"
+        report = verify_targets(image, [SectionAddress(sec_pages[0], 0)])
+        assert any(v.kind == "type" for v in report.violations)
+
+    def test_missing_section_rejected(self):
+        image = build(ring_of_cliques(3, 5))
+        addr = image.address_of(0)
+        bad = SectionAddress(addr.page, 15)  # beyond section count
+        report = verify_targets(image, [bad])
+        assert any(v.kind == "dangling" for v in report.violations)

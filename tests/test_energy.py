@@ -1,0 +1,108 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.energy import EnergyCoefficients, EnergyReport, attribute_energy
+
+
+def base_meters(**overrides):
+    meters = {
+        "flash_reads": 1000.0,
+        "dram_bytes": 4_096_000.0,
+        "pcie_bytes": 0.0,
+        "host_busy_s": 0.0,
+        "die_sample_neighbors": 0.0,
+        "router_parses": 0.0,
+        "router_commands": 0.0,
+        "accel_energy_j": 1e-5,
+    }
+    meters.update(overrides)
+    return meters
+
+
+def run_attribution(meters, **kwargs):
+    params = dict(
+        firmware_busy_s=1e-3,
+        flash_busy_s=3e-3,
+        channel_bytes=4_096_000.0,
+        total_seconds=1e-2,
+        total_targets=128,
+    )
+    params.update(kwargs)
+    return attribute_energy(meters, **params)
+
+
+class TestAttribution:
+    def test_all_categories_present(self):
+        report = run_attribution(base_meters())
+        assert set(report.categories) == {
+            "external_transfer",
+            "dram",
+            "flash",
+            "controller",
+            "accelerator",
+        }
+
+    def test_totals_and_watts(self):
+        report = run_attribution(base_meters())
+        assert report.total_joules == pytest.approx(
+            sum(report.categories.values())
+        )
+        assert report.average_watts == pytest.approx(
+            report.total_joules / 1e-2
+        )
+        assert report.targets_per_joule == pytest.approx(
+            128 / report.total_joules
+        )
+
+    def test_pcie_bytes_feed_external(self):
+        quiet = run_attribution(base_meters())
+        noisy = run_attribution(base_meters(pcie_bytes=50e6))
+        delta = noisy.categories["external_transfer"] - quiet.categories[
+            "external_transfer"
+        ]
+        coeff = EnergyCoefficients()
+        assert delta == pytest.approx(50e6 * coeff.pcie_pj_per_byte * 1e-12)
+
+    def test_host_cpu_counts_as_external(self):
+        busy = run_attribution(base_meters(host_busy_s=1.0))
+        idle = run_attribution(base_meters())
+        assert (
+            busy.categories["external_transfer"]
+            > idle.categories["external_transfer"]
+        )
+
+    def test_flash_scales_with_reads(self):
+        few = run_attribution(base_meters(flash_reads=100.0))
+        many = run_attribution(base_meters(flash_reads=10_000.0))
+        assert many.categories["flash"] > 10 * few.categories["flash"]
+
+    def test_router_energy_in_controller(self):
+        with_router = run_attribution(
+            base_meters(router_parses=1e6, router_commands=1e6)
+        )
+        without = run_attribution(base_meters())
+        assert (
+            with_router.categories["controller"]
+            > without.categories["controller"]
+        )
+
+    def test_custom_coefficients(self):
+        cheap = EnergyCoefficients(dram_pj_per_byte=1.0)
+        report = run_attribution(base_meters(), coeff=cheap)
+        default = run_attribution(base_meters())
+        assert report.categories["dram"] < default.categories["dram"]
+
+    def test_fraction_helper(self):
+        report = run_attribution(base_meters())
+        total = sum(report.fraction(c) for c in report.categories)
+        assert total == pytest.approx(1.0)
+
+
+class TestReportEdgeCases:
+    def test_empty_report(self):
+        report = EnergyReport()
+        assert report.total_joules == 0.0
+        assert report.average_watts == 0.0
+        assert report.targets_per_joule == 0.0
+        assert report.fraction("anything") == 0.0

@@ -1,0 +1,73 @@
+"""Tests for the fine-grained firmware/hardware backend pipelines."""
+
+import pytest
+
+from repro.ssd import FirmwareConfig, FlashConfig, HwRouterConfig
+from repro.ssd.firmware_pipeline import drive_backend
+
+
+class TestDriveBackend:
+    def test_all_requests_complete(self):
+        stats = drive_backend(200, use_hardware=False)
+        assert stats["iops"] > 0
+        assert stats["mean_latency_s"] > 0
+
+    def test_hardware_beats_firmware_at_scale(self):
+        flash = FlashConfig(num_channels=8, dies_per_channel=16)
+        fw = drive_backend(600, flash=flash, use_hardware=False)
+        hw = drive_backend(600, flash=flash, use_hardware=True)
+        assert hw["iops"] > 1.5 * fw["iops"]
+        assert hw["mean_latency_s"] < fw["mean_latency_s"]
+
+    def test_firmware_ceiling_is_core_bound(self):
+        """Throughput roughly equals cores / per-request core time."""
+        flash = FlashConfig(num_channels=8, dies_per_channel=16)
+        fw_config = FirmwareConfig(num_cores=4)
+        stats = drive_backend(
+            1500, flash=flash, firmware=fw_config, use_hardware=False
+        )
+        per_request = (
+            2 * fw_config.io_poller_s
+            + fw_config.ftl_lookup_s
+            + fw_config.schedule_s
+            + fw_config.completion_s
+        )
+        ceiling = fw_config.num_cores / per_request
+        assert stats["iops"] == pytest.approx(ceiling, rel=0.2)
+
+    def test_more_cores_raise_firmware_iops(self):
+        flash = FlashConfig(num_channels=8, dies_per_channel=16)
+        one = drive_backend(
+            500, flash=flash, firmware=FirmwareConfig(num_cores=1),
+            use_hardware=False,
+        )
+        four = drive_backend(
+            500, flash=flash, firmware=FirmwareConfig(num_cores=4),
+            use_hardware=False,
+        )
+        assert four["iops"] > 2.5 * one["iops"]
+
+    def test_hardware_insensitive_to_cores(self):
+        flash = FlashConfig(num_channels=8, dies_per_channel=8)
+        a = drive_backend(
+            400, flash=flash, firmware=FirmwareConfig(num_cores=1),
+            use_hardware=True,
+        )
+        b = drive_backend(
+            400, flash=flash, firmware=FirmwareConfig(num_cores=8),
+            use_hardware=True,
+        )
+        assert a["iops"] == pytest.approx(b["iops"], rel=0.01)
+
+    def test_router_latency_configurable(self):
+        slow = drive_backend(
+            200, router=HwRouterConfig(parse_s=5e-6, crossbar_s=5e-6),
+            use_hardware=True,
+        )
+        fast = drive_backend(200, use_hardware=True)
+        assert slow["mean_latency_s"] > fast["mean_latency_s"]
+
+    def test_deterministic_given_seed(self):
+        a = drive_backend(150, seed=3)
+        b = drive_backend(150, seed=3)
+        assert a["iops"] == pytest.approx(b["iops"])

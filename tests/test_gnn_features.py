@@ -1,0 +1,73 @@
+"""Tests for dense and procedural feature tables."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import DenseFeatureTable, ProceduralFeatureTable
+
+
+class TestDenseFeatureTable:
+    def test_shape_and_dtype(self):
+        table = DenseFeatureTable.random(10, 6, seed=0)
+        assert table.num_nodes == 10
+        assert table.dim == 6
+        vec = table.vector(3)
+        assert vec.shape == (6,)
+        assert vec.dtype == np.float16
+
+    def test_bytes_per_vector(self):
+        table = DenseFeatureTable.random(4, 128, seed=0)
+        assert table.bytes_per_vector == 256
+
+    def test_gather(self):
+        table = DenseFeatureTable.random(10, 4, seed=0)
+        out = table.gather([1, 1, 2])
+        assert out.shape == (3, 4)
+        assert np.array_equal(out[0], out[1])
+
+    def test_gather_empty(self):
+        table = DenseFeatureTable.random(10, 4, seed=0)
+        assert table.gather([]).shape == (0, 4)
+
+    def test_bounds(self):
+        table = DenseFeatureTable.random(5, 2, seed=0)
+        with pytest.raises(IndexError):
+            table.vector(5)
+        with pytest.raises(IndexError):
+            table.vector(-1)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            DenseFeatureTable(np.zeros(5, dtype=np.float16))
+
+
+class TestProceduralFeatureTable:
+    def test_deterministic_per_node(self):
+        table = ProceduralFeatureTable(1000, 16, seed=7)
+        assert np.array_equal(table.vector(42), table.vector(42))
+
+    def test_distinct_nodes_differ(self):
+        table = ProceduralFeatureTable(1000, 16, seed=7)
+        assert not np.array_equal(table.vector(1), table.vector(2))
+
+    def test_seed_changes_features(self):
+        a = ProceduralFeatureTable(10, 8, seed=1)
+        b = ProceduralFeatureTable(10, 8, seed=2)
+        assert not np.array_equal(a.vector(0), b.vector(0))
+
+    def test_huge_table_costs_no_memory(self):
+        # Table III scale: hundreds of millions of nodes
+        table = ProceduralFeatureTable(370_500_000, 200, seed=0)
+        vec = table.vector(370_500_000 - 1)
+        assert vec.shape == (200,)
+
+    def test_bounds(self):
+        table = ProceduralFeatureTable(5, 2, seed=0)
+        with pytest.raises(IndexError):
+            table.vector(5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ProceduralFeatureTable(0, 4)
+        with pytest.raises(ValueError):
+            ProceduralFeatureTable(4, 0)

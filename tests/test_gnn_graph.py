@@ -1,0 +1,117 @@
+"""Unit and property tests for the CSR graph and generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import (
+    Graph,
+    power_law_graph,
+    ring_of_cliques,
+    uniform_random_graph,
+)
+
+
+class TestGraph:
+    def test_from_neighbor_lists_roundtrip(self):
+        lists = [[1, 2], [0], [0, 1, 1]]
+        g = Graph.from_neighbor_lists(lists)
+        assert g.num_nodes == 3
+        assert g.num_edges == 6
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(1)) == [0]
+        assert list(g.neighbors(2)) == [0, 1, 1]
+
+    def test_from_edges(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (3, 0), (0, 3)])
+        assert list(g.neighbors(0)) == [1, 2, 3]
+        assert g.degree(3) == 1
+        assert g.degree(1) == 0
+
+    def test_degrees_vector(self):
+        g = Graph.from_neighbor_lists([[1], [0, 2, 0], []])
+        assert list(g.degrees()) == [1, 3, 0]
+        assert g.average_degree == pytest.approx(4 / 3)
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 2]), np.array([0]))
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 2]), np.array([0]))  # mismatched end
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 2, 1]), np.array([0, 0]))  # decreasing
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_neighbor_lists([[5]])
+
+    def test_node_bounds_checked(self):
+        g = Graph.from_neighbor_lists([[0]])
+        with pytest.raises(IndexError):
+            g.neighbors(1)
+        with pytest.raises(IndexError):
+            g.degree(-1)
+
+    def test_empty_neighbor_lists(self):
+        g = Graph.from_neighbor_lists([[], [], []])
+        assert g.num_edges == 0
+        assert g.degree(1) == 0
+
+
+class TestGenerators:
+    def test_uniform_graph_shape(self):
+        g = uniform_random_graph(1000, 8.0, seed=3)
+        assert g.num_nodes == 1000
+        assert 6.0 < g.average_degree < 10.0
+        assert g.degrees().min() >= 1
+
+    def test_power_law_graph_shape(self):
+        g = power_law_graph(2000, 20.0, seed=5)
+        assert g.num_nodes == 2000
+        assert 14.0 < g.average_degree < 26.0
+        # heavy tail: max degree well above the mean
+        assert g.degrees().max() > 3 * g.average_degree
+
+    def test_power_law_determinism(self):
+        a = power_law_graph(500, 10.0, seed=9)
+        b = power_law_graph(500, 10.0, seed=9)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_power_law_different_seeds_differ(self):
+        a = power_law_graph(500, 10.0, seed=1)
+        b = power_law_graph(500, 10.0, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_ring_of_cliques_structure(self):
+        g = ring_of_cliques(3, 4)
+        assert g.num_nodes == 12
+        # node 1 (inside clique 0) sees the rest of its clique
+        assert set(int(x) for x in g.neighbors(1)) == {0, 2, 3}
+        # node 0 bridges to clique 1's head
+        assert 4 in set(int(x) for x in g.neighbors(0))
+
+    def test_generator_input_validation(self):
+        with pytest.raises(ValueError):
+            uniform_random_graph(0, 4.0)
+        with pytest.raises(ValueError):
+            power_law_graph(10, 0.5)
+        with pytest.raises(ValueError):
+            power_law_graph(10, 4.0, exponent=0.9)
+        with pytest.raises(ValueError):
+            ring_of_cliques(0, 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        deg=st.floats(min_value=1.0, max_value=30.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_power_law_always_valid_csr(self, n, deg, seed):
+        g = power_law_graph(n, deg, seed=seed)
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == g.num_edges
+        assert g.degrees().min() >= 1
+        if g.num_edges:
+            assert 0 <= g.indices.min() and g.indices.max() < n

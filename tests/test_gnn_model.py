@@ -1,0 +1,130 @@
+"""Tests for the numpy GNN model and compute-shape derivation."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    DenseFeatureTable,
+    GnnLayer,
+    GnnModel,
+    minibatch_compute_shapes,
+    ring_of_cliques,
+    sample_minibatch,
+    sample_subgraph,
+)
+
+
+def tiny_setup(hidden=8, dim=4, layers=2):
+    graph = ring_of_cliques(3, 5)
+    features = DenseFeatureTable.random(graph.num_nodes, dim, seed=0)
+    model = GnnModel.random(dim, hidden, layers, seed=1)
+    return graph, features, model
+
+
+class TestGnnLayer:
+    def test_apply_shape(self):
+        layer = GnnLayer(np.ones((3, 4), np.float16), np.zeros(3, np.float16))
+        out = layer.apply(np.ones((5, 4), np.float16))
+        assert out.shape == (5, 3)
+        assert out.dtype == np.float16
+
+    def test_relu_clamps_negative(self):
+        layer = GnnLayer(-np.ones((2, 2), np.float16), np.zeros(2, np.float16))
+        out = layer.apply(np.ones((1, 2), np.float16))
+        assert np.all(out == 0)
+
+    def test_bias_added(self):
+        layer = GnnLayer(np.zeros((2, 2), np.float16), np.array([1.5, 2.5], np.float16))
+        out = layer.apply(np.zeros((1, 2), np.float16))
+        assert list(out[0]) == [1.5, 2.5]
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            GnnLayer(np.zeros((2, 2), np.float16), np.zeros(3, np.float16))
+
+
+class TestGnnModel:
+    def test_forward_output_shape(self):
+        graph, features, model = tiny_setup()
+        sg = sample_subgraph(graph, 0, (3, 3), seed=2)
+        out = model.forward_subgraph(sg, features)
+        assert out.shape == (8,)
+        assert out.dtype == np.float16
+
+    def test_forward_deterministic(self):
+        graph, features, model = tiny_setup()
+        sg = sample_subgraph(graph, 0, (3, 3), seed=2)
+        a = model.forward_subgraph(sg, features)
+        b = model.forward_subgraph(sg, features)
+        assert np.array_equal(a, b)
+
+    def test_forward_depends_on_samples(self):
+        graph, features, model = tiny_setup()
+        a = model.forward_subgraph(sample_subgraph(graph, 0, (3, 3), seed=2), features)
+        b = model.forward_subgraph(sample_subgraph(graph, 0, (3, 3), seed=3), features)
+        assert not np.array_equal(a, b)
+
+    def test_manual_one_layer_aggregation(self):
+        """Hand-computed check: h = relu(W @ (x_self + sum(x_children)))."""
+        graph = ring_of_cliques(2, 3)
+        dim = 2
+        feats = np.arange(graph.num_nodes * dim, dtype=np.float16).reshape(-1, dim)
+        features = DenseFeatureTable(feats)
+        w = np.eye(dim, dtype=np.float16)
+        model = GnnModel([GnnLayer(w, np.zeros(dim, np.float16))])
+        sg = sample_subgraph(graph, 0, (2,), seed=0)
+        children = [n.node_id for n in sg.nodes.values() if n.depth == 1]
+        expected = feats[0].astype(np.float32)
+        for c in children:
+            expected = expected + feats[c].astype(np.float32)
+        out = model.forward_subgraph(sg, features)
+        assert np.allclose(out.astype(np.float32), np.maximum(expected, 0), rtol=1e-2)
+
+    def test_too_few_hops_rejected(self):
+        graph, features, model = tiny_setup(layers=3)
+        sg = sample_subgraph(graph, 0, (3, 3), seed=2)  # only 2 hops
+        with pytest.raises(ValueError):
+            model.forward_subgraph(sg, features)
+
+    def test_minibatch_stacks(self):
+        graph, features, model = tiny_setup()
+        sgs = sample_minibatch(graph, [0, 1, 2], (3, 3), seed=1)
+        out = model.forward_minibatch(sgs, features)
+        assert out.shape == (3, 8)
+
+    def test_layer_chain_validation(self):
+        l1 = GnnLayer(np.zeros((4, 3), np.float16), np.zeros(4, np.float16))
+        l2 = GnnLayer(np.zeros((4, 5), np.float16), np.zeros(4, np.float16))
+        with pytest.raises(ValueError):
+            GnnModel([l1, l2])
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            GnnModel([])
+
+
+class TestComputeShapes:
+    def test_paper_configuration(self):
+        """3 hops, fanout 3, K=3 layers, batch B.
+
+        Layer 1 updates positions at depths 0..2 (1+3+9=13 per target);
+        layer 2 depths 0..1 (4); layer 3 depth 0 (1).
+        """
+        shapes = minibatch_compute_shapes(
+            batch_size=64, fanouts=(3, 3, 3), feature_dim=200, hidden_dim=128, num_layers=3
+        )
+        assert [s.gemm[0] for s in shapes] == [13 * 64, 4 * 64, 1 * 64]
+        assert shapes[0].gemm[1:] == (200, 128)
+        assert shapes[1].gemm[1:] == (128, 128)
+        # layer-1 aggregation touches every edge of the 40-node tree
+        assert shapes[0].agg_vectors == (3 + 9 + 27) * 64
+
+    def test_single_layer(self):
+        shapes = minibatch_compute_shapes(1, (5,), 10, 7, 1)
+        assert len(shapes) == 1
+        assert shapes[0].gemm == (1, 10, 7)
+        assert shapes[0].agg_vectors == 5
+
+    def test_layers_exceeding_hops_rejected(self):
+        with pytest.raises(ValueError):
+            minibatch_compute_shapes(1, (3,), 10, 7, 2)

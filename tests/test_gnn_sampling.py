@@ -1,0 +1,134 @@
+"""Tests for the reference GraphSage sampler and its determinism contract."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import (
+    child_position,
+    depth_offsets,
+    power_law_graph,
+    ring_of_cliques,
+    sample_minibatch,
+    sample_subgraph,
+    tree_capacity,
+)
+from repro.isc import counter_draw
+
+
+class TestHeapNumbering:
+    def test_depth_offsets_paper_config(self):
+        assert depth_offsets((3, 3, 3)) == [0, 1, 4, 13]
+
+    def test_tree_capacity_paper_config(self):
+        assert tree_capacity((3, 3, 3)) == 40
+
+    def test_child_positions_are_unique_and_contiguous(self):
+        fanouts = (3, 3)
+        offsets = depth_offsets(fanouts)
+        seen = set()
+        for parent in range(offsets[1], offsets[2]):  # depth-1 positions
+            for j in range(3):
+                pos = child_position(fanouts, parent, 2, j)
+                assert pos not in seen
+                seen.add(pos)
+        assert seen == set(range(4, 13))
+
+    def test_child_position_root(self):
+        assert child_position((2, 2), 0, 1, 0) == 1
+        assert child_position((2, 2), 0, 1, 1) == 2
+
+    def test_child_position_bounds(self):
+        with pytest.raises(ValueError):
+            child_position((3,), 0, 2, 0)  # depth beyond fanouts
+        with pytest.raises(ValueError):
+            child_position((3,), 0, 1, 3)  # j >= fanout
+
+
+class TestCounterDraw:
+    def test_deterministic(self):
+        assert counter_draw(7, 1, 2, 3) == counter_draw(7, 1, 2, 3)
+
+    def test_key_sensitivity(self):
+        base = counter_draw(7, 1, 2, 3)
+        assert counter_draw(7, 1, 2, 4) != base
+        assert counter_draw(8, 1, 2, 3) != base
+        assert counter_draw(7, 2, 1, 3) != base
+
+    def test_range(self):
+        for k in range(100):
+            v = counter_draw(1, k)
+            assert 0 <= v < 2**64
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**63), st.integers(min_value=0, max_value=2**63))
+    def test_uniform_64bit(self, seed, key):
+        v = counter_draw(seed, key)
+        assert 0 <= v < 2**64
+
+
+class TestSampleSubgraph:
+    def test_tree_size_full_fanout(self):
+        g = ring_of_cliques(4, 5)  # every node has degree >= 4
+        sg = sample_subgraph(g, target=0, fanouts=(3, 3, 3), seed=42)
+        # 1 + 3 + 9 + 27 = 40 positions, the paper's configuration
+        assert sg.num_positions == 40
+        assert len(sg.positions_at_depth(0)) == 1
+        assert len(sg.positions_at_depth(1)) == 3
+        assert len(sg.positions_at_depth(3)) == 27
+
+    def test_edges_are_real(self):
+        g = power_law_graph(300, 12.0, seed=1)
+        sg = sample_subgraph(g, target=7, fanouts=(3, 3), seed=5)
+        sg.validate_against(g)  # raises on any fake edge
+
+    def test_deterministic_for_seed(self):
+        g = power_law_graph(300, 12.0, seed=1)
+        a = sample_subgraph(g, 5, (3, 3, 3), seed=9)
+        b = sample_subgraph(g, 5, (3, 3, 3), seed=9)
+        assert a.canonical() == b.canonical()
+
+    def test_seed_changes_samples(self):
+        g = power_law_graph(300, 12.0, seed=1)
+        a = sample_subgraph(g, 5, (3, 3, 3), seed=9)
+        b = sample_subgraph(g, 5, (3, 3, 3), seed=10)
+        assert a.canonical() != b.canonical()
+
+    def test_zero_fanout_gives_root_only(self):
+        g = ring_of_cliques(2, 3)
+        sg = sample_subgraph(g, 0, fanouts=(0,), seed=1)
+        assert sg.num_positions == 1
+
+    def test_parent_links_consistent(self):
+        g = power_law_graph(100, 8.0, seed=2)
+        sg = sample_subgraph(g, 3, (2, 2), seed=3)
+        for node in sg.nodes.values():
+            if node.parent >= 0:
+                parent = sg.nodes[node.parent]
+                assert parent.depth == node.depth - 1
+                assert parent.position == node.parent
+
+    def test_target_out_of_range(self):
+        g = ring_of_cliques(2, 3)
+        with pytest.raises(IndexError):
+            sample_subgraph(g, 99, (3,), seed=0)
+
+    def test_minibatch_covers_all_targets(self):
+        g = power_law_graph(200, 10.0, seed=4)
+        sgs = sample_minibatch(g, [1, 2, 3], (3, 3), seed=0)
+        assert [sg.target for sg in sgs] == [1, 2, 3]
+
+    def test_unique_node_ids_subset_of_graph(self):
+        g = power_law_graph(150, 10.0, seed=8)
+        sg = sample_subgraph(g, 0, (3, 3, 3), seed=1)
+        assert all(0 <= v < 150 for v in sg.unique_node_ids())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        target=st.integers(min_value=0, max_value=99),
+    )
+    def test_sampled_edges_always_valid(self, seed, target):
+        g = power_law_graph(100, 6.0, seed=17)
+        sg = sample_subgraph(g, target, (3, 3), seed=seed)
+        sg.validate_against(g)

@@ -1,0 +1,137 @@
+"""Tests for GNN training: exact gradients and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    DenseFeatureTable,
+    GnnModel,
+    ring_of_cliques,
+    power_law_graph,
+    sample_minibatch,
+    sample_subgraph,
+)
+from repro.gnn.training import SgdTrainer, forward_backward, mse_loss
+
+
+def setup(dim=3, hidden=4, layers=2, seed=0):
+    graph = ring_of_cliques(3, 5)
+    features = DenseFeatureTable.random(graph.num_nodes, dim, seed=seed)
+    model = GnnModel.random(dim, hidden, layers, seed=seed + 1)
+    return graph, features, model
+
+
+class TestMseLoss:
+    def test_zero_at_match(self):
+        x = np.ones(4, dtype=np.float32)
+        loss, grad = mse_loss(x, x)
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_gradient_direction(self):
+        pred = np.array([2.0, 0.0], dtype=np.float32)
+        target = np.array([0.0, 0.0], dtype=np.float32)
+        loss, grad = mse_loss(pred, target)
+        assert loss == pytest.approx(2.0)
+        assert grad[0] > 0 and grad[1] == 0
+
+
+class TestGradientCheck:
+    def test_matches_numerical_gradient(self):
+        """Finite-difference check of d_weight on a tiny model."""
+        from repro.gnn.training import _forward_trace
+
+        graph, features, model = setup()
+        sg = sample_subgraph(graph, 0, (2, 2), seed=3)
+        target = np.full(4, 0.5, dtype=np.float32)
+
+        def loss_of_model():
+            out, _ = _forward_trace(model, sg, features)
+            return mse_loss(out, target)[0]
+
+        out, _ = _forward_trace(model, sg, features)
+        _loss, out_grad = mse_loss(out, target)
+        grads = forward_backward(model, sg, features, out_grad)
+
+        eps = 2e-3  # small enough to avoid crossing ReLU kinks
+        rng = np.random.default_rng(0)
+        for layer_index in range(model.num_layers):
+            layer = model.layers[layer_index]
+            for _ in range(4):  # spot-check several coordinates
+                i = rng.integers(0, layer.out_dim)
+                j = rng.integers(0, layer.in_dim)
+                original = layer.weight[i, j]
+                w_up = np.float16(float(original) + eps)
+                w_down = np.float16(float(original) - eps)
+                layer.weight[i, j] = w_up
+                up = loss_of_model()
+                layer.weight[i, j] = w_down
+                down = loss_of_model()
+                layer.weight[i, j] = original
+                # use the *realized* FP16 perturbation as the step
+                step = float(w_up) - float(w_down)
+                numeric = (up - down) / step
+                analytic = grads[layer_index].d_weight[i, j]
+                assert analytic == pytest.approx(numeric, abs=0.05), (
+                    layer_index, i, j,
+                )
+
+    def test_bias_gradient_numerical(self):
+        from repro.gnn.training import _forward_trace
+
+        graph, features, model = setup()
+        sg = sample_subgraph(graph, 1, (2, 2), seed=5)
+        target = np.zeros(4, dtype=np.float32)
+        out, _ = _forward_trace(model, sg, features)
+        _loss, out_grad = mse_loss(out, target)
+        grads = forward_backward(model, sg, features, out_grad)
+        layer = model.layers[-1]
+        eps = 1e-2
+        original = layer.bias[0]
+        layer.bias[0] = np.float16(float(original) + eps)
+        up = mse_loss(_forward_trace(model, sg, features)[0], target)[0]
+        layer.bias[0] = np.float16(float(original) - eps)
+        down = mse_loss(_forward_trace(model, sg, features)[0], target)[0]
+        layer.bias[0] = original
+        numeric = (up - down) / (2 * eps)
+        assert grads[-1].d_bias[0] == pytest.approx(numeric, abs=0.05)
+
+
+class TestSgdTrainer:
+    def test_loss_decreases_on_regression_task(self):
+        graph = power_law_graph(200, 8.0, seed=2)
+        features = DenseFeatureTable.random(200, 4, seed=0)
+        model = GnnModel.random(4, 6, 2, seed=3)
+        trainer = SgdTrainer(model, learning_rate=0.05)
+        rng = np.random.default_rng(1)
+        targets_nodes = [int(v) for v in rng.integers(0, 200, size=16)]
+        subgraphs = sample_minibatch(graph, targets_nodes, (3, 3), seed=4)
+        labels = np.zeros((len(subgraphs), 6), dtype=np.float32)
+        first = trainer.train_batch(subgraphs, features, labels)
+        for _ in range(15):
+            last = trainer.train_batch(subgraphs, features, labels)
+        assert last < first * 0.8
+
+    def test_history_recorded(self):
+        graph, features, model = setup()
+        trainer = SgdTrainer(model, learning_rate=0.01)
+        sgs = sample_minibatch(graph, [0, 1], (2, 2), seed=0)
+        labels = np.zeros((2, 4), dtype=np.float32)
+        trainer.train_batch(sgs, features, labels)
+        trainer.train_batch(sgs, features, labels)
+        assert len(trainer.loss_history) == 2
+
+    def test_mismatched_targets_rejected(self):
+        graph, features, model = setup()
+        trainer = SgdTrainer(model)
+        sgs = sample_minibatch(graph, [0, 1], (2, 2), seed=0)
+        with pytest.raises(ValueError):
+            trainer.train_batch(sgs, features, np.zeros((3, 4)))
+
+    def test_weights_change_after_step(self):
+        graph, features, model = setup()
+        before = model.layers[0].weight.copy()
+        trainer = SgdTrainer(model, learning_rate=0.5)
+        sgs = sample_minibatch(graph, [0], (2, 2), seed=0)
+        trainer.train_batch(sgs, features, np.zeros((1, 4), dtype=np.float32))
+        assert not np.array_equal(before, model.layers[0].weight)

@@ -1,0 +1,231 @@
+"""End-to-end tests of the host <-> firmware BeaconGNN protocol.
+
+Covers Sections VI-A (reserved blocks + flush), VI-D (mini-batch jobs),
+VI-E (containment enforcement at flush / batch / runtime), and VI-G
+(regular-I/O deferral during acceleration mode).
+"""
+
+import numpy as np
+import pytest
+
+from repro.directgraph import FormatSpec
+from repro.gnn import DenseFeatureTable, GnnModel, power_law_graph, sample_minibatch
+from repro.host import BeaconHost, CommandFailed, NvmeDriver
+from repro.isc import GnnTaskConfig
+from repro.ssd import FlashConfig
+from repro.ssd.firmware_runtime import FirmwareMode, FirmwareRuntime
+from repro.ssd.nvme import Opcode, QueuePair, Status
+
+DIM = 8
+
+
+def make_stack(num_nodes=120, page_size=1024, pages_per_block=8, blocks=512):
+    graph = power_law_graph(num_nodes, 10.0, seed=4)
+    features = DenseFeatureTable.random(num_nodes, DIM, seed=0)
+    queue = QueuePair(depth=16)
+    flash = FlashConfig(page_size=page_size, pages_per_block=pages_per_block)
+    firmware = FirmwareRuntime(
+        queue,
+        flash=flash,
+        total_blocks=blocks,
+        format_spec=FormatSpec(page_size=page_size, feature_dim=DIM),
+    )
+    host = BeaconHost(NvmeDriver(queue, firmware))
+    return graph, features, host, firmware
+
+
+class TestDeployment:
+    def test_deploy_flushes_all_pages(self):
+        graph, features, host, firmware = make_stack()
+        info = host.deploy(graph, features)
+        assert firmware.pages_flushed == info.pages_flushed == info.image.num_pages
+        assert firmware.flush_rejections == 0
+        assert len(info.blocks) >= 1
+
+    def test_deployed_addresses_are_physical(self):
+        graph, features, host, firmware = make_stack()
+        info = host.deploy(graph, features)
+        first_block = min(info.blocks)
+        for node in range(0, graph.num_nodes, 17):
+            addr = info.image.address_of(node)
+            assert addr.page >= first_block * firmware.ftl.pages_per_block
+
+    def test_undeploy_returns_blocks(self):
+        graph, features, host, firmware = make_stack()
+        host.deploy(graph, features)
+        reserved_before = len(firmware.ftl.reserved_blocks())
+        assert reserved_before > 0
+        host.undeploy()
+        assert firmware.ftl.reserved_blocks() == []
+
+
+class TestSecurityEnforcement:
+    def test_flush_outside_reserved_blocks_denied(self):
+        _graph, _features, host, firmware = make_stack()
+        page = bytes(firmware.flash.page_size)
+        with pytest.raises(CommandFailed) as err:
+            host.driver.call(Opcode.BEACON_FLUSH_PAGE, lba=10**6, payload=page)
+        assert err.value.completion.status == Status.ACCESS_DENIED
+        assert firmware.flush_rejections == 1
+
+    def test_flush_with_escaping_address_denied(self):
+        """A malicious page whose neighbor entry points at regular data."""
+        graph, features, host, firmware = make_stack()
+        info = host.deploy(graph, features)
+        page_index = info.image.page_plans[0].page_index
+        raw = bytearray(info.image.page_bytes(page_index))
+        from repro.directgraph import SectionAddress
+        from repro.directgraph.spec import PRIMARY_HEADER_BYTES
+
+        offset = int.from_bytes(raw[2:4], "little")
+        outside = (max(info.blocks) + 10) * firmware.ftl.pages_per_block
+        evil = info.image.spec.codec.pack(SectionAddress(page=outside, section=0))
+        at = offset + PRIMARY_HEADER_BYTES + info.image.spec.feature_bytes
+        raw[at : at + 4] = evil.to_bytes(4, "little")  # unreserved page
+        with pytest.raises(CommandFailed) as err:
+            host.driver.call(
+                Opcode.BEACON_FLUSH_PAGE, lba=page_index, payload=bytes(raw)
+            )
+        assert err.value.completion.status == Status.ACCESS_DENIED
+
+    def test_minibatch_with_bogus_target_address_denied(self):
+        graph, features, host, _fw = make_stack()
+        host.deploy(graph, features)
+        host.configure(GnnTaskConfig(num_hops=2, fanout=2, feature_dim=DIM, seed=0))
+        with pytest.raises(CommandFailed) as err:
+            host.driver.call(
+                Opcode.BEACON_MINIBATCH,
+                payload={"targets": [1], "addresses": [0xDEADBEEF]},
+            )
+        assert err.value.completion.status == Status.ACCESS_DENIED
+
+    def test_minibatch_before_configure_rejected(self):
+        graph, features, host, _fw = make_stack()
+        host.deploy(graph, features)
+        with pytest.raises(RuntimeError):
+            host.run_minibatch([1])
+
+
+class TestMinibatchExecution:
+    def test_subgraphs_match_reference(self):
+        graph, features, host, _fw = make_stack()
+        host.deploy(graph, features)
+        task = GnnTaskConfig(num_hops=3, fanout=3, feature_dim=DIM, seed=11)
+        host.configure(task)
+        targets = [2, 45, 99]
+        subgraphs = host.subgraphs_for(targets)
+        for ref in sample_minibatch(graph, targets, task.fanouts, seed=11):
+            assert subgraphs[ref.target].canonical() == ref.canonical()
+
+    def test_embeddings_match_host_model(self):
+        graph, features, host, _fw = make_stack()
+        host.deploy(graph, features)
+        task = GnnTaskConfig(num_hops=2, fanout=2, feature_dim=DIM, seed=3)
+        model = GnnModel.random(DIM, 16, 2, seed=5)
+        host.configure(task, model)
+        targets = [7, 70]
+        embeddings = host.embeddings_for(targets)
+        reference = sample_minibatch(graph, targets, task.fanouts, seed=3)
+        for ref in reference:
+            expected = model.forward_subgraph(ref, features)
+            assert np.array_equal(embeddings[ref.target], expected)
+
+    def test_embeddings_without_model_raise(self):
+        graph, features, host, _fw = make_stack()
+        host.deploy(graph, features)
+        host.configure(GnnTaskConfig(num_hops=1, fanout=2, feature_dim=DIM, seed=0))
+        with pytest.raises(RuntimeError):
+            host.embeddings_for([1])
+
+    def test_page_reads_counted(self):
+        graph, features, host, _fw = make_stack()
+        host.deploy(graph, features)
+        host.configure(GnnTaskConfig(num_hops=1, fanout=2, feature_dim=DIM, seed=0))
+        result = host.run_minibatch([3])
+        assert result.page_reads >= 3  # root + 2 children
+
+
+class TestAccelerationModeDeferral:
+    """Section VI-G: regular I/O waits for the current mini-batch."""
+
+    def test_regular_io_deferred_until_batch_end(self):
+        graph, features, host, firmware = make_stack()
+        host.deploy(graph, features)
+        host.configure(GnnTaskConfig(num_hops=2, fanout=2, feature_dim=DIM, seed=0))
+        driver = host.driver
+        # a regular write before: establishes the LPA
+        driver.write(5, b"hello")
+        # submit the mini-batch and a read WITHOUT driving the device
+        targets = [2]
+        batch_id = driver.submit_async(
+            Opcode.BEACON_MINIBATCH,
+            payload={
+                "targets": targets,
+                "addresses": [host.deployment.address_of(2)],
+            },
+        )
+        read_id = driver.submit_async(Opcode.READ, lba=5)
+        # step the firmware: it starts the batch, then fetches the read
+        firmware.process_one()  # fetch minibatch -> acceleration mode
+        assert firmware.mode == FirmwareMode.ACCELERATION
+        firmware.process_one()  # fetch read -> deferred
+        assert firmware.deferred_served == 0
+        assert driver.queue.pending_completions == 0
+        firmware.process_all()
+        # batch completes first, deferred read right after
+        batch_completion = driver.queue.wait_for(batch_id)
+        read_completion = driver.queue.wait_for(read_id)
+        assert batch_completion.status == Status.SUCCESS
+        assert read_completion.status == Status.SUCCESS
+        assert read_completion.result == b"hello"
+        assert firmware.deferred_served == 1
+        assert firmware.mode == FirmwareMode.REGULAR_IO
+
+    def test_second_minibatch_while_busy_rejected(self):
+        graph, features, host, firmware = make_stack()
+        host.deploy(graph, features)
+        host.configure(GnnTaskConfig(num_hops=1, fanout=2, feature_dim=DIM, seed=0))
+        driver = host.driver
+        payload = {
+            "targets": [2],
+            "addresses": [host.deployment.address_of(2)],
+        }
+        driver.submit_async(Opcode.BEACON_MINIBATCH, payload=payload)
+        second = driver.submit_async(Opcode.BEACON_MINIBATCH, payload=payload)
+        firmware.process_one()  # start first batch
+        firmware.process_one()  # fetch second -> DEVICE_BUSY
+        completion = driver.queue.wait_for(second)
+        assert completion.status == Status.DEVICE_BUSY
+        firmware.process_all()
+
+
+class TestRegularIoPath:
+    def test_read_write_roundtrip(self):
+        _g, _f, host, _fw = make_stack()
+        host.driver.write(9, b"payload")
+        assert host.driver.read(9) == b"payload"
+
+    def test_unmapped_read_fails(self):
+        _g, _f, host, _fw = make_stack()
+        with pytest.raises(CommandFailed) as err:
+            host.driver.read(1234)
+        assert err.value.completion.status == Status.LBA_OUT_OF_RANGE
+
+    def test_oversized_write_rejected(self):
+        _g, _f, host, firmware = make_stack()
+        too_big = bytes(firmware.flash.page_size + 1)
+        with pytest.raises(CommandFailed) as err:
+            host.driver.write(1, too_big)
+        assert err.value.completion.status == Status.INVALID_FIELD
+
+    def test_regular_io_coexists_with_directgraph(self):
+        """Isolation: regular writes never land on DirectGraph pages."""
+        graph, features, host, firmware = make_stack()
+        info = host.deploy(graph, features)
+        reserved = set()
+        for block in info.blocks:
+            start = block * firmware.ftl.pages_per_block
+            reserved.update(range(start, start + firmware.ftl.pages_per_block))
+        for lpa in range(20):
+            ppa = host.driver.write(lpa, b"x")
+            assert ppa not in reserved

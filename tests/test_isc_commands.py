@@ -1,0 +1,109 @@
+"""Tests for ONFI-style command encodings (Figure 13)."""
+
+import pytest
+
+from repro.directgraph import FormatSpec, SectionAddress
+from repro.isc import (
+    COMMAND_BASE_BYTES,
+    CommandKind,
+    DRAW_ENTRY_BYTES,
+    GnnTaskConfig,
+    SamplingCommand,
+    UNKNOWN_NODE,
+)
+
+
+class TestGnnTaskConfig:
+    def test_encode_decode_roundtrip(self):
+        cfg = GnnTaskConfig(num_hops=3, fanout=3, feature_dim=128, seed=99)
+        assert GnnTaskConfig.decode(cfg.encode()) == cfg
+
+    def test_encoded_size(self):
+        assert len(GnnTaskConfig(3, 3, 128).encode()) == 8
+
+    def test_fanouts_tuple(self):
+        assert GnnTaskConfig(3, 5, 16).fanouts == (5, 5, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GnnTaskConfig(0, 3, 128)
+        with pytest.raises(ValueError):
+            GnnTaskConfig(3, 0, 128)
+        with pytest.raises(ValueError):
+            GnnTaskConfig(3, 3, 0)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            GnnTaskConfig.decode(b"\x01" * 8)
+
+
+class TestSamplingCommand:
+    def spec(self):
+        return FormatSpec(page_size=4096, feature_dim=16)
+
+    def test_roundtrip_primary(self):
+        spec = self.spec()
+        cmd = SamplingCommand(
+            kind=CommandKind.SAMPLE_PRIMARY,
+            address=SectionAddress(1234, 5),
+            target=42,
+            hop=2,
+            position=7,
+            node_id=UNKNOWN_NODE,
+        )
+        assert SamplingCommand.decode(spec, cmd.encode(spec)) == cmd
+
+    def test_roundtrip_secondary_with_draws(self):
+        spec = self.spec()
+        cmd = SamplingCommand(
+            kind=CommandKind.SAMPLE_SECONDARY,
+            address=SectionAddress(9, 1),
+            target=3,
+            hop=1,
+            position=2,
+            node_id=77,
+            draws=((0, 5), (2, -1)),
+        )
+        decoded = SamplingCommand.decode(spec, cmd.encode(spec))
+        assert decoded == cmd
+
+    def test_encoded_size_matches(self):
+        spec = self.spec()
+        cmd = SamplingCommand(
+            kind=CommandKind.SAMPLE_SECONDARY,
+            address=SectionAddress(9, 1),
+            target=3,
+            hop=1,
+            position=2,
+            node_id=77,
+            draws=((0, 5), (1, 6), (2, 7)),
+        )
+        raw = cmd.encode(spec)
+        assert len(raw) == cmd.encoded_bytes
+        assert len(raw) == COMMAND_BASE_BYTES + 3 * DRAW_ENTRY_BYTES
+
+    def test_draws_rejected_on_primary(self):
+        with pytest.raises(ValueError):
+            SamplingCommand(
+                kind=CommandKind.SAMPLE_PRIMARY,
+                address=SectionAddress(0, 0),
+                target=0,
+                hop=0,
+                position=0,
+                draws=((0, 1),),
+            )
+
+    def test_decode_length_check(self):
+        spec = self.spec()
+        with pytest.raises(ValueError):
+            SamplingCommand.decode(spec, b"\x01" * 10)
+
+    def test_configure_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingCommand(
+                kind=CommandKind.CONFIGURE,
+                address=SectionAddress(0, 0),
+                target=0,
+                hop=0,
+                position=0,
+            )

@@ -1,0 +1,104 @@
+"""Tests for the functional channel-level command router."""
+
+import pytest
+
+from repro.directgraph import SectionAddress
+from repro.isc import CommandKind, SamplingCommand
+from repro.isc.router import CommandRouter, RouteInfo
+from repro.ssd import FlashConfig
+
+
+def cmd_for_page(page):
+    return SamplingCommand(
+        kind=CommandKind.SAMPLE_PRIMARY,
+        address=SectionAddress(page, 0),
+        target=0,
+        hop=0,
+        position=0,
+    )
+
+
+@pytest.fixture
+def router():
+    return CommandRouter(FlashConfig(num_channels=4, dies_per_channel=2))
+
+
+class TestRouting:
+    def test_route_matches_geometry(self, router):
+        info = router.route_of(cmd_for_page(5))
+        assert info == RouteInfo(channel=1, die=1)  # 5 % 4, (5 // 4) % 2
+
+    def test_dispatch_enqueues_on_destination(self, router):
+        route = router.dispatch(cmd_for_page(6))
+        assert router.pending(route.channel, route.die) == 1
+        assert router.pending((route.channel + 1) % 4) == 0
+
+    def test_cross_channel_hops_counted(self, router):
+        route = router.dispatch(cmd_for_page(6), source_channel=0)
+        assert route.channel == 2
+        assert router.cross_channel_hops == 1
+        router.dispatch(cmd_for_page(2), source_channel=2)  # same channel
+        assert router.cross_channel_hops == 1
+
+    def test_commands_routed_counter(self, router):
+        for page in range(8):
+            router.dispatch(cmd_for_page(page))
+        assert router.commands_routed == 8
+
+
+class TestRoundRobinIssuer:
+    def test_issues_to_idle_die(self, router):
+        router.dispatch(cmd_for_page(0))  # channel 0, die 0
+        result = router.issue_next(0, die_idle=[True, True])
+        assert result is not None
+        die, command = result
+        assert die == 0
+        assert router.pending(0) == 0
+
+    def test_busy_die_skipped(self, router):
+        router.dispatch(cmd_for_page(0))  # ch 0 die 0
+        router.dispatch(cmd_for_page(4))  # ch 0 die 1
+        result = router.issue_next(0, die_idle=[False, True])
+        assert result[0] == 1
+
+    def test_round_robin_fairness(self, router):
+        # two commands per die on channel 0
+        for _ in range(2):
+            router.dispatch(cmd_for_page(0))
+            router.dispatch(cmd_for_page(4))
+        order = [router.issue_next(0, [True, True])[0] for _ in range(4)]
+        assert order == [0, 1, 0, 1]
+
+    def test_nothing_to_issue(self, router):
+        assert router.issue_next(0, [True, True]) is None
+        router.dispatch(cmd_for_page(0))
+        assert router.issue_next(0, [False, False]) is None
+
+    def test_die_idle_length_checked(self, router):
+        with pytest.raises(ValueError):
+            router.issue_next(0, [True])
+
+
+class TestClassification:
+    def test_classify_splits_commands_and_features(self):
+        from repro.isc.sampler import SampleResult
+
+        children = [cmd_for_page(1), cmd_for_page(2)]
+        result = SampleResult(
+            command=cmd_for_page(0),
+            record=None,
+            feature_bytes=b"\x00" * 64,
+            children=children,
+        )
+        cmds, feat = CommandRouter.classify(result)
+        assert cmds == children
+        assert feat == 64
+
+    def test_classify_no_feature(self):
+        from repro.isc.sampler import SampleResult
+
+        result = SampleResult(
+            command=cmd_for_page(0), record=None, feature_bytes=None
+        )
+        cmds, feat = CommandRouter.classify(result)
+        assert cmds == [] and feat == 0

@@ -1,0 +1,87 @@
+"""Tests for the NVMe queue-pair transport."""
+
+import pytest
+
+from repro.ssd.nvme import (
+    NvmeCommand,
+    Opcode,
+    QueueFullError,
+    QueuePair,
+    Status,
+)
+
+
+class TestQueuePair:
+    def test_submit_fetch_complete_poll(self):
+        qp = QueuePair(depth=4)
+        cid = qp.submit(Opcode.READ, lba=7)
+        command = qp.fetch()
+        assert command.command_id == cid
+        assert command.opcode == Opcode.READ
+        assert command.lba == 7
+        qp.complete(command, Status.SUCCESS, result=b"data")
+        completion = qp.poll()
+        assert completion.command_id == cid
+        assert completion.status == Status.SUCCESS
+        assert completion.result == b"data"
+
+    def test_fifo_order(self):
+        qp = QueuePair(depth=8)
+        ids = [qp.submit(Opcode.READ, lba=i) for i in range(3)]
+        fetched = [qp.fetch().command_id for _ in range(3)]
+        assert fetched == ids
+
+    def test_queue_full_raises(self):
+        qp = QueuePair(depth=2)
+        qp.submit(Opcode.READ)
+        qp.submit(Opcode.READ)
+        with pytest.raises(QueueFullError):
+            qp.submit(Opcode.READ)
+
+    def test_in_flight_bounds_depth(self):
+        qp = QueuePair(depth=2)
+        qp.submit(Opcode.READ)
+        command = qp.fetch()
+        qp.submit(Opcode.READ)  # SQ has room again
+        with pytest.raises(QueueFullError):
+            qp.submit(Opcode.READ)  # still 2 in flight
+        qp.complete(command, Status.SUCCESS)
+        qp.poll()
+        qp.submit(Opcode.READ)  # slot freed
+
+    def test_poll_empty_returns_none(self):
+        assert QueuePair().poll() is None
+
+    def test_fetch_empty_returns_none(self):
+        assert QueuePair().fetch() is None
+
+    def test_doorbells_track_counts(self):
+        qp = QueuePair()
+        qp.submit(Opcode.READ)
+        assert qp.sq_doorbell == 1
+        command = qp.fetch()
+        qp.complete(command, Status.SUCCESS)
+        qp.poll()
+        assert qp.cq_doorbell == 1
+
+    def test_wait_for_skips_other_completions(self):
+        qp = QueuePair()
+        first = qp.submit(Opcode.READ)
+        second = qp.submit(Opcode.READ)
+        a = qp.fetch()
+        b = qp.fetch()
+        qp.complete(a, Status.SUCCESS, result="a")
+        qp.complete(b, Status.SUCCESS, result="b")
+        completion = qp.wait_for(second)
+        assert completion.result == "b"
+        # the skipped completion is still retrievable
+        assert qp.wait_for(first).result == "a"
+
+    def test_wait_for_missing_raises(self):
+        qp = QueuePair()
+        with pytest.raises(LookupError):
+            qp.wait_for(12345)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            QueuePair(depth=0)

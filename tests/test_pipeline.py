@@ -1,0 +1,54 @@
+"""Tests for the mini-batch pipeline (Section VI-D overlap)."""
+
+import pytest
+
+from repro.platforms import PreparedWorkload, run_platform
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return PreparedWorkload.prepare(workload_by_name("ppi").scaled(1024))
+
+
+class TestPipelineOverlap:
+    def test_overlap_beats_serial_execution(self, prepared):
+        on = run_platform(
+            "bg2", prepared, batch_size=32, num_batches=4, pipeline_overlap=True
+        )
+        off = run_platform(
+            "bg2", prepared, batch_size=32, num_batches=4, pipeline_overlap=False
+        )
+        assert on.total_seconds < off.total_seconds
+
+    def test_serial_mode_never_overlaps_compute_with_next_prep(self, prepared):
+        result = run_platform(
+            "bg2", prepared, batch_size=16, num_batches=3, pipeline_overlap=False
+        )
+        for prev, nxt in zip(result.batches, result.batches[1:]):
+            assert nxt.prep_start >= prev.compute_end - 1e-12
+
+    def test_overlap_mode_runs_compute_during_next_prep(self, prepared):
+        result = run_platform(
+            "bg2", prepared, batch_size=32, num_batches=4, pipeline_overlap=True
+        )
+        overlapped = any(
+            nxt.prep_start < prev.compute_end
+            for prev, nxt in zip(result.batches, result.batches[1:])
+        )
+        assert overlapped
+
+    def test_compute_waits_for_own_prep(self, prepared):
+        result = run_platform("bg2", prepared, batch_size=16, num_batches=3)
+        for batch in result.batches:
+            assert batch.compute_start >= batch.prep_end - 1e-12
+
+    def test_computes_serialize_on_the_accelerator(self, prepared):
+        result = run_platform("bg2", prepared, batch_size=16, num_batches=3)
+        for prev, nxt in zip(result.batches, result.batches[1:]):
+            assert nxt.compute_start >= prev.compute_end - 1e-12
+
+    def test_preps_serialize_on_the_flash_backend(self, prepared):
+        result = run_platform("bg2", prepared, batch_size=16, num_batches=3)
+        for prev, nxt in zip(result.batches, result.batches[1:]):
+            assert nxt.prep_start >= prev.prep_end - 1e-12

@@ -1,0 +1,211 @@
+"""Integration tests: the eight platforms reproduce the paper's shape.
+
+One shared simulation sweep (module-scoped fixture) backs many
+assertions, each checking a qualitative claim from the evaluation
+section.
+"""
+
+import pytest
+
+from repro.platforms import (
+    PLATFORMS,
+    PreparedWorkload,
+    platform_by_name,
+    run_platform,
+)
+from repro.ssd import traditional_ssd, ull_ssd
+from repro.workloads import workload_by_name
+
+BATCH = 32
+NBATCH = 2
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return PreparedWorkload.prepare(workload_by_name("amazon").scaled(2048))
+
+
+@pytest.fixture(scope="module")
+def results(prepared):
+    return {
+        name: run_platform(name, prepared, batch_size=BATCH, num_batches=NBATCH)
+        for name in PLATFORMS
+    }
+
+
+def thr(results, name):
+    return results[name].throughput_targets_per_sec
+
+
+class TestBasicSanity:
+    def test_all_platforms_complete(self, results):
+        for name, result in results.items():
+            assert result.total_seconds > 0, name
+            assert result.throughput_targets_per_sec > 0, name
+            assert len(result.batches) == NBATCH, name
+
+    def test_flash_reads_happen_everywhere(self, results):
+        for name, result in results.items():
+            assert result.meters.get("flash_reads") > BATCH, name
+
+    def test_prep_batches_are_timed(self, results):
+        for name, result in results.items():
+            for batch in result.batches:
+                assert batch.prep_end > batch.prep_start, name
+                assert batch.compute_end >= batch.compute_start, name
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(KeyError):
+            platform_by_name("nonexistent")
+
+    def test_alias_resolution(self):
+        assert platform_by_name("BG-2").name == "bg2"
+        assert platform_by_name("beacongnn").name == "bg2"
+
+
+class TestFigure14Ordering:
+    """Throughput ordering across the BG progression (Figure 14)."""
+
+    def test_every_isc_design_beats_cc(self, results):
+        base = thr(results, "cc")
+        for name in ("glist", "smartsage", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"):
+            assert thr(results, name) > base, name
+
+    def test_bg1_beats_individual_offloads(self, results):
+        assert thr(results, "bg1") > thr(results, "glist")
+        assert thr(results, "bg1") > thr(results, "smartsage")
+
+    def test_smartsage_beats_glist(self, results):
+        """Paper: SmartSage 2.11x vs GLIST 1.42x on average."""
+        assert thr(results, "smartsage") > thr(results, "glist")
+
+    def test_progressive_improvements(self, results):
+        order = ["bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+        # bg_dg vs bg_sp are both above bg1; the full chain below must
+        # be monotone except the dg/sp pair which the paper also splits
+        assert thr(results, "bg_dg") > thr(results, "bg1")
+        assert thr(results, "bg_sp") > thr(results, "bg1")
+        assert thr(results, "bg_dgsp") > thr(results, "bg_sp")
+        assert thr(results, "bg_dgsp") > thr(results, "bg_dg")
+        assert thr(results, "bg2") > thr(results, "bg_dgsp")
+
+    def test_bg2_speedup_is_large(self, results):
+        """Paper: up to 27.3x vs CC; ~21.7x on amazon. Assert order of
+        magnitude rather than the absolute factor."""
+        assert thr(results, "bg2") / thr(results, "cc") > 6.0
+
+
+class TestFigure15Utilization:
+    def test_bg2_uses_more_dies_than_bg_sp(self, results):
+        assert results["bg2"].mean_active_dies() > results["bg_sp"].mean_active_dies()
+
+    def test_die_sampling_cuts_channel_traffic(self, results):
+        """BG-SP transfers sampled data, BG-1 whole pages."""
+        bg1_bytes = sum(t.busy_time() for t in results["bg1"].channel_trackers)
+        bgsp_bytes = sum(t.busy_time() for t in results["bg_sp"].channel_trackers)
+        assert bgsp_bytes < bg1_bytes / 2
+
+    def test_latency_breakdown_categories(self, results):
+        breakdown = results["cc"].latency_breakdown()
+        for key in ("host", "pcie", "firmware", "flash_read", "dram", "accelerator"):
+            assert key in breakdown
+        # CC spends heavily on PCIe; BG-2 almost nothing
+        assert breakdown["pcie"] > results["bg2"].latency_breakdown()["pcie"] * 5
+
+
+class TestFigure16HopOverlap:
+    def test_barrier_platforms_serialize_hops(self, results):
+        for name in ("cc", "smartsage", "bg1", "bg_sp"):
+            assert results[name].hop_timeline.overlap_fraction() < 0.5, name
+
+    def test_directgraph_platforms_overlap_hops(self, results):
+        for name in ("bg_dg", "bg_dgsp", "bg2"):
+            assert results[name].hop_timeline.overlap_fraction() > 0.5, name
+
+
+class TestFigure17CommandBreakdown:
+    def test_breakdown_sums_to_lifetime(self, results):
+        agg = results["bg2"].stage_agg
+        rec = agg.records[0]
+        assert sum(rec.breakdown().values()) == pytest.approx(rec.lifetime, rel=1e-6)
+
+    def test_bg2_cuts_wait_time(self, results):
+        """Hardware routing removes firmware queueing from the wait."""
+        dgsp = results["bg_dgsp"].command_breakdown()
+        bg2 = results["bg2"].command_breakdown()
+        wait_dgsp = dgsp["wait_before_flash"] + dgsp["wait_after_flash"]
+        wait_bg2 = bg2["wait_before_flash"] + bg2["wait_after_flash"]
+        assert wait_bg2 < wait_dgsp
+
+    def test_page_platforms_wait_dominates_flash(self, results):
+        """Figure 17: the command's own flash time is a small fraction."""
+        b = results["bg1"].command_breakdown()
+        waits = b["wait_before_flash"] + b["wait_after_flash"] + b["transfer"]
+        assert waits > b["flash"]
+
+
+class TestFirmwareInvolvement:
+    def test_bg2_firmware_nearly_idle(self, results):
+        """BG-2 removes firmware from the sampling path."""
+        per_cmd_bg2 = results["bg2"].firmware_busy_seconds / max(
+            1, results["bg2"].meters.get("flash_reads")
+        )
+        per_cmd_dgsp = results["bg_dgsp"].firmware_busy_seconds / max(
+            1, results["bg_dgsp"].meters.get("flash_reads")
+        )
+        assert per_cmd_bg2 < per_cmd_dgsp / 3
+
+    def test_router_counters_only_on_bg2(self, results):
+        assert results["bg2"].meters.get("router_parses") > 0
+        for name in ("cc", "bg1", "bg_dgsp"):
+            assert results[name].meters.get("router_parses") == 0, name
+
+
+class TestEnergyShape:
+    def test_cc_external_transfer_dominant_category(self, results):
+        eb = results["cc"].energy_breakdown
+        assert eb["external_transfer"] > eb["dram"]
+        assert eb["external_transfer"] > eb["flash"]
+
+    def test_bg1_dram_heavy(self, results):
+        """BG-1 moves whole pages into SSD DRAM (75% of energy in paper)."""
+        eb = results["bg1"].energy_breakdown
+        assert eb["external_transfer"] < results["cc"].energy_breakdown["external_transfer"]
+        assert eb["dram"] > results["bg2"].energy_breakdown["dram"]
+
+    def test_efficiency_ordering(self, results):
+        eff = {
+            name: results[name].meters.get("targets_per_joule")
+            for name in ("cc", "bg1", "bg2")
+        }
+        assert eff["bg2"] > eff["bg1"] > eff["cc"]
+
+
+class TestTraditionalSsd:
+    """Section VII-E: with 20 us reads, routing stops mattering."""
+
+    def test_bg2_close_to_dgsp_on_slow_flash(self, prepared):
+        cfg = traditional_ssd()
+        dgsp = run_platform(
+            "bg_dgsp", prepared, ssd_config=cfg, batch_size=BATCH, num_batches=NBATCH
+        )
+        bg2 = run_platform(
+            "bg2", prepared, ssd_config=cfg, batch_size=BATCH, num_batches=NBATCH
+        )
+        ratio = bg2.throughput_targets_per_sec / dgsp.throughput_targets_per_sec
+        assert ratio < 1.25  # "negligible difference"
+
+    def test_ull_gap_is_larger_than_traditional_gap(self, prepared, results):
+        cfg = traditional_ssd()
+        dgsp = run_platform(
+            "bg_dgsp", prepared, ssd_config=cfg, batch_size=BATCH, num_batches=NBATCH
+        )
+        bg2 = run_platform(
+            "bg2", prepared, ssd_config=cfg, batch_size=BATCH, num_batches=NBATCH
+        )
+        trad_ratio = bg2.throughput_targets_per_sec / dgsp.throughput_targets_per_sec
+        ull_ratio = (
+            results["bg2"].throughput_targets_per_sec
+            / results["bg_dgsp"].throughput_targets_per_sec
+        )
+        assert ull_ratio > trad_ratio

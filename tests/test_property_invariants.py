@@ -1,0 +1,106 @@
+"""Cross-module property tests on the core invariants (hypothesis).
+
+These are the system's load-bearing guarantees:
+
+1. Algorithm 1 never loses a neighbor, never overfills a page, and never
+   exceeds the 4-bit section-count cap — for arbitrary graph shapes and
+   page sizes.
+2. The in-storage execution equals the reference sampler for arbitrary
+   seeds/fanouts (the out-of-order soundness theorem).
+3. Relocation (wear reclamation) preserves graph semantics under
+   arbitrary page permutations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.directgraph import (
+    DirectGraphReader,
+    FormatSpec,
+    build_directgraph,
+    verify_image,
+)
+from repro.gnn import DenseFeatureTable, power_law_graph, sample_minibatch
+from repro.isc import GnnTaskConfig, run_in_storage_sampling
+from repro.ssd.reliability import relocate_image
+
+
+def build(num_nodes, avg_degree, dim, page_size, seed):
+    graph = power_law_graph(num_nodes, avg_degree, seed=seed)
+    feats = DenseFeatureTable.random(num_nodes, dim, seed=seed)
+    spec = FormatSpec(page_size=page_size, feature_dim=dim)
+    return graph, feats, build_directgraph(graph, feats, spec)
+
+
+class TestBuilderInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=5, max_value=150),
+        avg_degree=st.floats(min_value=1.0, max_value=60.0),
+        dim=st.sampled_from([2, 8, 32]),
+        page_size=st.sampled_from([512, 1024, 4096]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_structure_invariants(self, num_nodes, avg_degree, dim, page_size, seed):
+        graph, _feats, image = build(num_nodes, avg_degree, dim, page_size, seed)
+        spec = image.spec
+        for plan in image.node_plans:
+            assert plan.n_inline + sum(plan.secondary_counts) == plan.degree
+            assert plan.n_secondary == len(plan.secondary_addrs)
+        for page in image.page_plans:
+            assert page.used_bytes <= spec.page_payload_bytes
+            assert page.n_sections <= spec.max_sections_per_page
+        # flush-time security check passes on every built image
+        assert verify_image(image).ok
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=5, max_value=80),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_reader_roundtrip(self, num_nodes, seed):
+        graph, feats, image = build(num_nodes, 12.0, 8, 1024, seed)
+        reader = DirectGraphReader(image)
+        for node in range(0, num_nodes, max(1, num_nodes // 7)):
+            assert reader.neighbors(node) == [int(x) for x in graph.neighbors(node)]
+            assert np.array_equal(reader.feature(node), feats.vector(node))
+
+
+class TestOutOfOrderSoundness:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        fanout=st.integers(min_value=1, max_value=4),
+        hops=st.integers(min_value=1, max_value=3),
+        lifo=st.booleans(),
+    )
+    def test_in_storage_equals_reference(self, seed, fanout, hops, lifo):
+        graph, _feats, image = build(90, 10.0, 8, 1024, 7)
+        config = GnnTaskConfig(
+            num_hops=hops, fanout=fanout, feature_dim=8, seed=seed
+        )
+        targets = [1, 33, 66]
+        run = run_in_storage_sampling(image, config, targets, lifo=lifo)
+        for ref in sample_minibatch(graph, targets, config.fanouts, seed=seed):
+            assert run.subgraphs[ref.target].canonical() == ref.canonical()
+
+
+class TestRelocationInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        perm_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_arbitrary_permutation_preserves_semantics(self, seed, perm_seed):
+        graph, feats, image = build(60, 10.0, 8, 1024, seed)
+        rng = np.random.default_rng(perm_seed)
+        pages = [p.page_index for p in image.page_plans]
+        shuffled = list(rng.permutation(len(pages)))
+        mapping = {old: 1000 + int(new) for old, new in zip(pages, shuffled)}
+        moved = relocate_image(image, mapping)
+        reader = DirectGraphReader(moved)
+        for node in range(0, 60, 11):
+            assert reader.neighbors(node) == [int(x) for x in graph.neighbors(node)]
+            assert np.array_equal(reader.feature(node), feats.vector(node))

@@ -1,0 +1,55 @@
+"""The public API surface stays importable and coherent."""
+
+import pytest
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_headline_exports(self):
+        from repro import PLATFORMS, WORKLOADS, run_platform, workload_by_name
+
+        assert len(PLATFORMS) == 8
+        assert len(WORKLOADS) == 5
+        assert callable(run_platform)
+        assert workload_by_name("amazon").name == "amazon"
+
+    def test_readme_quickstart_snippet(self):
+        """The exact snippet from README.md works."""
+        from repro import run_platform, workload_by_name
+
+        result = run_platform(
+            "bg2",
+            workload_by_name("amazon").scaled(512),
+            batch_size=8,
+            num_batches=1,
+        )
+        assert result.throughput_targets_per_sec > 0
+
+
+class TestSubpackageAll:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.sim",
+            "repro.gnn",
+            "repro.workloads",
+            "repro.directgraph",
+            "repro.isc",
+            "repro.accel",
+            "repro.ssd",
+            "repro.host",
+            "repro.platforms",
+            "repro.energy",
+            "repro.bench",
+        ],
+    )
+    def test_all_names_resolve(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"

@@ -1,0 +1,142 @@
+"""Tests for the public run_platform API and result plumbing."""
+
+import pytest
+
+from repro.platforms import PreparedWorkload, run_platform
+from repro.platforms.features import PlatformFeatures
+from repro.ssd import ull_ssd
+from repro.workloads import WorkloadSpec, workload_by_name
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return PreparedWorkload.prepare(workload_by_name("ogbn").scaled(1024))
+
+
+class TestRunPlatformApi:
+    def test_accepts_workload_spec_and_scales(self):
+        result = run_platform(
+            "bg2",
+            workload_by_name("ogbn"),
+            batch_size=8,
+            num_batches=1,
+            scaled_nodes=512,
+        )
+        assert result.workload == "ogbn"
+        assert result.total_targets == 8
+
+    def test_accepts_prepared_workload(self, prepared):
+        result = run_platform("bg1", prepared, batch_size=8, num_batches=1)
+        assert result.platform == "bg1"
+
+    def test_accepts_platform_object(self, prepared):
+        from repro.platforms import platform_by_name
+
+        features = platform_by_name("cc")
+        result = run_platform(features, prepared, batch_size=8, num_batches=1)
+        assert result.platform == "cc"
+
+    def test_page_size_mismatch_rejected(self, prepared):
+        config = ull_ssd().with_flash(page_size=8192)
+        with pytest.raises(ValueError):
+            run_platform("bg2", prepared, ssd_config=config, batch_size=8)
+
+    def test_seed_determinism(self, prepared):
+        a = run_platform("bg2", prepared, batch_size=8, num_batches=1, seed=5)
+        b = run_platform("bg2", prepared, batch_size=8, num_batches=1, seed=5)
+        assert a.total_seconds == pytest.approx(b.total_seconds)
+        assert a.meters.get("flash_reads") == b.meters.get("flash_reads")
+
+    def test_different_seed_changes_work(self, prepared):
+        a = run_platform("bg2", prepared, batch_size=8, num_batches=1, seed=5)
+        b = run_platform("bg2", prepared, batch_size=8, num_batches=1, seed=6)
+        # different targets -> almost surely different timing
+        assert a.total_seconds != b.total_seconds
+
+    def test_result_summary_fields(self, prepared):
+        result = run_platform("bg2", prepared, batch_size=8, num_batches=2)
+        summary = result.summary()
+        for key in (
+            "throughput",
+            "prep_s",
+            "compute_s",
+            "active_dies",
+            "active_channels",
+            "hop_overlap",
+        ):
+            assert key in summary
+
+    def test_energy_fields_populated(self, prepared):
+        result = run_platform("cc", prepared, batch_size=8, num_batches=1)
+        assert result.energy_breakdown
+        assert result.meters.get("energy_total_j") > 0
+        assert result.meters.get("targets_per_joule") > 0
+
+    def test_utilization_series_shapes(self, prepared):
+        result = run_platform("bg2", prepared, batch_size=8, num_batches=1)
+        xs, ys = result.die_utilization_series(bins=10)
+        assert len(xs) == len(ys) == 10
+        assert max(ys) > 0
+
+    def test_hop_and_fanout_knobs(self, prepared):
+        small = run_platform(
+            "bg2", prepared, batch_size=8, num_batches=1, num_hops=1, fanout=2
+        )
+        big = run_platform(
+            "bg2", prepared, batch_size=8, num_batches=1, num_hops=3, fanout=3
+        )
+        assert big.meters.get("flash_reads") > small.meters.get("flash_reads")
+
+
+class TestPlatformFeatureValidation:
+    def test_router_requires_directgraph(self):
+        with pytest.raises(ValueError):
+            PlatformFeatures(
+                name="x",
+                description="",
+                sampling_site="die",
+                direct_graph=False,
+                hw_router=True,
+                compute_site="in_ssd",
+                features_cross_pcie=False,
+                structure_cross_pcie=False,
+            )
+
+    def test_router_requires_die_sampling(self):
+        with pytest.raises(ValueError):
+            PlatformFeatures(
+                name="x",
+                description="",
+                sampling_site="firmware",
+                direct_graph=True,
+                hw_router=True,
+                compute_site="in_ssd",
+                features_cross_pcie=False,
+                structure_cross_pcie=False,
+            )
+
+    def test_directgraph_implies_in_ssd_sampling(self):
+        with pytest.raises(ValueError):
+            PlatformFeatures(
+                name="x",
+                description="",
+                sampling_site="host",
+                direct_graph=True,
+                hw_router=False,
+                compute_site="in_ssd",
+                features_cross_pcie=False,
+                structure_cross_pcie=True,
+            )
+
+    def test_bad_sites_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformFeatures(
+                name="x",
+                description="",
+                sampling_site="gpu",
+                direct_graph=False,
+                hw_router=False,
+                compute_site="in_ssd",
+                features_cross_pcie=False,
+                structure_cross_pcie=False,
+            )

@@ -1,0 +1,252 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, SimulationError, Simulator
+
+
+def test_timeout_fires_at_delay():
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        yield sim.timeout(1.5)
+        log.append(sim.now)
+        yield sim.timeout(0.5)
+        log.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert log == [1.5, 2.0]
+
+
+def test_timeout_value_delivery():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        val = yield sim.timeout(1.0, value="payload")
+        seen.append(val)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_zero_timeout_runs_in_creation_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(0.0)
+        order.append(tag)
+
+    sim.process(proc(sim, "a"))
+    sim.process(proc(sim, "b"))
+    sim.run()
+    assert order == ["a", "b"]
+
+
+def test_manual_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    woke = []
+
+    def waiter(sim):
+        val = yield gate
+        woke.append((sim.now, val))
+
+    def opener(sim):
+        yield sim.timeout(3.0)
+        gate.succeed(42)
+
+    sim.process(waiter(sim))
+    sim.process(opener(sim))
+    sim.run()
+    assert woke == [(3.0, 42)]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_raises_in_process():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield gate
+        except ValueError as err:
+            caught.append(str(err))
+
+    sim.process(waiter(sim))
+    gate.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return "child-result"
+
+    def parent(sim):
+        val = yield sim.process(child(sim))
+        results.append(val)
+
+    sim.process(parent(sim))
+    sim.run()
+    assert results == ["child-result"]
+
+
+def test_process_exception_propagates_to_parent():
+    sim = Simulator()
+    caught = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("child failed")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert caught == ["child failed"]
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 17
+
+    proc = sim.process(bad(sim))
+    # nobody waits on the process, so run() surfaces the failure
+    with pytest.raises(SimulationError):
+        sim.run()
+    assert proc.triggered
+
+
+def test_watched_process_failure_not_reraised_by_run():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("expected")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except ValueError:
+            pass
+
+    sim.process(parent(sim))
+    sim.run()  # must not raise: the parent handled it
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        vals = yield AllOf(sim, [sim.timeout(1.0, "a"), sim.timeout(3.0, "b")])
+        got.append((sim.now, vals))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == [(3.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        vals = yield AllOf(sim, [])
+        got.append((sim.now, vals))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == [(0.0, [])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        idx_val = yield AnyOf(sim, [sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+        got.append((sim.now, idx_val))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == [(1.0, (1, "fast"))]
+
+
+def test_waiting_on_already_fired_event():
+    sim = Simulator()
+    got = []
+
+    def late(sim, ev):
+        yield sim.timeout(2.0)
+        val = yield ev  # already fired at t=0
+        got.append((sim.now, val))
+
+    ev = sim.event()
+    ev.succeed("early")
+    sim.process(late(sim, ev))
+    sim.run()
+    assert got == [(2.0, "early")]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+
+    sim.process(proc(sim))
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+
+
+def test_value_read_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_many_interleaved_processes_keep_time_monotone():
+    sim = Simulator()
+    stamps = []
+
+    def proc(sim, delay, reps):
+        for _ in range(reps):
+            yield sim.timeout(delay)
+            stamps.append(sim.now)
+
+    for d in (0.3, 0.7, 1.1):
+        sim.process(proc(sim, d, 10))
+    sim.run()
+    assert stamps == sorted(stamps)
+    assert len(stamps) == 30

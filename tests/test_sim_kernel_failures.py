@@ -1,0 +1,123 @@
+"""Failure-path tests for the simulation kernel's combinators."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulator
+
+
+class TestAllOfFailures:
+    def test_child_failure_propagates(self):
+        sim = Simulator()
+        caught = []
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        def waiter(sim):
+            try:
+                yield AllOf(sim, [sim.timeout(5.0), sim.process(failing(sim))])
+            except ValueError as err:
+                caught.append((sim.now, str(err)))
+
+        sim.process(waiter(sim))
+        sim.run()
+        # fails fast at t=1, not t=5
+        assert caught == [(1.0, "inner")]
+
+    def test_values_ordered_by_children_not_completion(self):
+        sim = Simulator()
+        got = []
+
+        def waiter(sim):
+            vals = yield AllOf(
+                sim, [sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")]
+            )
+            got.append(vals)
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert got == [["slow", "fast"]]
+
+
+class TestAnyOfFailures:
+    def test_first_failure_wins(self):
+        sim = Simulator()
+        caught = []
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("fast failure")
+
+        def waiter(sim):
+            try:
+                yield AnyOf(sim, [sim.timeout(5.0), sim.process(failing(sim))])
+            except RuntimeError as err:
+                caught.append(str(err))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert caught == ["fast failure"]
+
+    def test_empty_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            AnyOf(sim, [])
+
+    def test_late_events_ignored_after_winner(self):
+        sim = Simulator()
+        got = []
+
+        def waiter(sim):
+            winner = yield AnyOf(
+                sim, [sim.timeout(1.0, "a"), sim.timeout(2.0, "b")]
+            )
+            got.append(winner)
+            yield sim.timeout(5.0)  # let the loser fire; must be ignored
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert got == [(0, "a")]
+
+
+class TestNestedProcesses:
+    def test_three_level_return_chain(self):
+        sim = Simulator()
+        got = []
+
+        def leaf(sim):
+            yield sim.timeout(1.0)
+            return 1
+
+        def middle(sim):
+            value = yield sim.process(leaf(sim))
+            return value + 1
+
+        def root(sim):
+            value = yield sim.process(middle(sim))
+            got.append(value)
+
+        sim.process(root(sim))
+        sim.run()
+        assert got == [2]
+
+    def test_exception_skips_levels_without_handlers(self):
+        sim = Simulator()
+        caught = []
+
+        def leaf(sim):
+            yield sim.timeout(1.0)
+            raise KeyError("deep")
+
+        def middle(sim):
+            yield sim.process(leaf(sim))  # no handler here
+
+        def root(sim):
+            try:
+                yield sim.process(middle(sim))
+            except KeyError as err:
+                caught.append(str(err))
+
+        sim.process(root(sim))
+        sim.run()
+        assert caught == ["'deep'"]

@@ -1,0 +1,222 @@
+"""Unit tests for simulation resources: Resource, BandwidthPipe, Store."""
+
+import pytest
+
+from repro.sim import BandwidthPipe, Resource, Simulator, Store
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def proc(sim, tag, hold):
+            yield res.acquire()
+            start = sim.now
+            yield sim.timeout(hold)
+            res.release()
+            log.append((tag, start, sim.now))
+
+        sim.process(proc(sim, "a", 2.0))
+        sim.process(proc(sim, "b", 1.0))
+        sim.run()
+        assert log == [("a", 0.0, 2.0), ("b", 2.0, 3.0)]
+
+    def test_capacity_two_allows_parallelism(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def proc(sim, tag):
+            yield res.acquire()
+            yield sim.timeout(1.0)
+            res.release()
+            done.append((tag, sim.now))
+
+        for tag in ("a", "b", "c"):
+            sim.process(proc(sim, tag))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def holder(sim):
+            yield res.acquire()
+            yield sim.timeout(1.0)
+            res.release()
+
+        def waiter(sim, tag, arrive):
+            yield sim.timeout(arrive)
+            yield res.acquire()
+            order.append(tag)
+            res.release()
+
+        sim.process(holder(sim))
+        sim.process(waiter(sim, "first", 0.1))
+        sim.process(waiter(sim, "second", 0.2))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_busy_tracker_records_usage(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1, name="core")
+
+        def proc(sim):
+            yield res.acquire()
+            yield sim.timeout(5.0)
+            res.release()
+
+        sim.process(proc(sim))
+        sim.run()
+        assert res.tracker.busy_time() == pytest.approx(5.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+
+class TestBandwidthPipe:
+    def test_single_transfer_time(self):
+        sim = Simulator()
+        pipe = BandwidthPipe(sim, bytes_per_sec=1000.0, per_transfer_overhead=0.5)
+        done = []
+
+        def proc(sim):
+            yield pipe.transfer(1000)
+            done.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert done == [pytest.approx(1.5)]
+
+    def test_transfers_serialize_fifo(self):
+        sim = Simulator()
+        pipe = BandwidthPipe(sim, bytes_per_sec=1000.0)
+        done = []
+
+        def proc(sim, tag, nbytes):
+            yield pipe.transfer(nbytes)
+            done.append((tag, sim.now))
+
+        sim.process(proc(sim, "a", 1000))
+        sim.process(proc(sim, "b", 500))
+        sim.run()
+        assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(1.5))]
+
+    def test_pipe_idles_then_resumes(self):
+        sim = Simulator()
+        pipe = BandwidthPipe(sim, bytes_per_sec=1000.0)
+        done = []
+
+        def proc(sim):
+            yield pipe.transfer(1000)  # ends at 1.0
+            yield sim.timeout(5.0)  # idle gap
+            yield pipe.transfer(1000)  # 6.0 -> 7.0
+            done.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert done == [pytest.approx(7.0)]
+        assert pipe.tracker.busy_time() == pytest.approx(2.0)
+
+    def test_counters(self):
+        sim = Simulator()
+        pipe = BandwidthPipe(sim, bytes_per_sec=100.0)
+
+        def proc(sim):
+            yield pipe.transfer(10)
+            yield pipe.transfer(30)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert pipe.bytes_moved == 40
+        assert pipe.transfer_count == 2
+
+    def test_zero_byte_transfer_takes_overhead_only(self):
+        sim = Simulator()
+        pipe = BandwidthPipe(sim, bytes_per_sec=100.0, per_transfer_overhead=0.25)
+        done = []
+
+        def proc(sim):
+            yield pipe.transfer(0)
+            done.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert done == [pytest.approx(0.25)]
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            BandwidthPipe(sim, bytes_per_sec=0.0)
+        pipe = BandwidthPipe(sim, bytes_per_sec=10.0)
+        with pytest.raises(ValueError):
+            pipe.transfer(-1)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        store.put("x")
+        sim.process(consumer(sim))
+        sim.run()
+        assert got == [(0.0, "x")]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer(sim):
+            yield sim.timeout(2.0)
+            store.put("late")
+
+        sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert got == [(2.0, "late")]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        for item in (1, 2, 3):
+            store.put(item)
+        sim.process(consumer(sim))
+        sim.run()
+        assert got == [1, 2, 3]
+
+    def test_len_and_peek(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+        assert store.peek_all() == ("a", "b")

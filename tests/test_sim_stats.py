@@ -1,0 +1,143 @@
+"""Tests for instrumentation: busy trackers, stage records, hop timelines."""
+
+import pytest
+
+from repro.sim import (
+    BusyTracker,
+    HopTimeline,
+    Meter,
+    StageAggregator,
+    StageRecord,
+    active_count_series,
+)
+
+
+class TestBusyTracker:
+    def test_busy_time_simple(self):
+        t = BusyTracker()
+        t.add_interval(1.0, 3.0)
+        t.add_interval(5.0, 6.0)
+        assert t.busy_time() == pytest.approx(3.0)
+
+    def test_busy_time_clipped(self):
+        t = BusyTracker()
+        t.add_interval(0.0, 10.0)
+        assert t.busy_time(2.0, 4.0) == pytest.approx(2.0)
+
+    def test_utilization(self):
+        t = BusyTracker()
+        t.add_interval(0.0, 5.0)
+        assert t.utilization(0.0, 10.0) == pytest.approx(0.5)
+
+    def test_set_busy_idle_pairs(self):
+        t = BusyTracker()
+        t.set_busy(1.0)
+        t.set_busy(2.0)  # nested busy is a no-op
+        t.set_idle(4.0)
+        assert t.busy_time() == pytest.approx(3.0)
+
+    def test_close_flushes_open_interval(self):
+        t = BusyTracker()
+        t.set_busy(1.0)
+        t.close(3.0)
+        assert t.busy_time() == pytest.approx(2.0)
+
+    def test_invalid_interval(self):
+        t = BusyTracker()
+        with pytest.raises(ValueError):
+            t.add_interval(2.0, 1.0)
+
+
+class TestActiveCountSeries:
+    def test_two_overlapping_units(self):
+        a, b = BusyTracker(), BusyTracker()
+        a.add_interval(0.0, 10.0)
+        b.add_interval(5.0, 10.0)
+        centers, counts = active_count_series([a, b], 0.0, 10.0, bins=2)
+        assert centers == [2.5, 7.5]
+        assert counts[0] == pytest.approx(1.0)
+        assert counts[1] == pytest.approx(2.0)
+
+    def test_empty_window(self):
+        centers, counts = active_count_series([], 5.0, 5.0, bins=4)
+        assert centers == [] and counts == []
+
+    def test_interval_outside_window_ignored(self):
+        t = BusyTracker()
+        t.add_interval(100.0, 200.0)
+        _, counts = active_count_series([t], 0.0, 10.0, bins=5)
+        assert all(c == 0 for c in counts)
+
+
+class TestStageRecord:
+    def test_breakdown_partitions_lifetime(self):
+        rec = StageRecord(
+            command_id=1, hop=2, issued=0.0, flash_start=2.0,
+            flash_end=5.0, transfer_end=6.0, completed=9.0,
+        )
+        parts = rec.breakdown()
+        assert parts["wait_before_flash"] == pytest.approx(2.0)
+        assert parts["flash"] == pytest.approx(3.0)
+        assert parts["transfer"] == pytest.approx(1.0)
+        assert parts["wait_after_flash"] == pytest.approx(3.0)
+        assert sum(parts.values()) == pytest.approx(rec.lifetime)
+
+    def test_aggregator_means(self):
+        agg = StageAggregator()
+        for i in range(2):
+            agg.add(
+                StageRecord(
+                    command_id=i, hop=1, issued=0.0, flash_start=1.0 + i,
+                    flash_end=2.0 + i, transfer_end=3.0 + i, completed=4.0 + i,
+                )
+            )
+        mean = agg.mean_breakdown()
+        assert mean["wait_before_flash"] == pytest.approx(1.5)
+        assert agg.mean_lifetime() == pytest.approx(4.5)
+
+    def test_empty_aggregator(self):
+        agg = StageAggregator()
+        assert agg.mean_lifetime() == 0.0
+        assert all(v == 0.0 for v in agg.mean_breakdown().values())
+
+
+class TestMeter:
+    def test_accumulate(self):
+        m = Meter()
+        m.add("bytes", 10)
+        m.add("bytes", 5)
+        assert m.get("bytes") == 15
+        assert m.get("missing") == 0.0
+
+    def test_merged(self):
+        a, b = Meter(), Meter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        merged = a.merged(b)
+        assert merged.get("x") == 3 and merged.get("y") == 3
+
+
+class TestHopTimeline:
+    def test_serialized_hops_have_zero_overlap(self):
+        tl = HopTimeline()
+        for hop, (s, e) in enumerate([(0, 1), (1, 2), (2, 3)]):
+            tl.note_start(hop, s)
+            tl.note_end(hop, e)
+        assert tl.overlap_fraction() == pytest.approx(0.0)
+
+    def test_overlapped_hops_detected(self):
+        tl = HopTimeline()
+        tl.note_start(0, 0.0)
+        tl.note_end(0, 10.0)
+        tl.note_start(1, 2.0)
+        tl.note_end(1, 10.0)
+        assert tl.overlap_fraction() == pytest.approx(0.8)
+
+    def test_spans_track_min_start_max_end(self):
+        tl = HopTimeline()
+        tl.note_start(0, 5.0)
+        tl.note_start(0, 3.0)
+        tl.note_end(0, 4.0)
+        tl.note_end(0, 9.0)
+        assert tl.spans()[0] == (3.0, 9.0)

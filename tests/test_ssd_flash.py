@@ -1,0 +1,193 @@
+"""Tests for flash backend timing: die reads, channel serialization."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.stats import StageRecord
+from repro.ssd import DieExecution, FlashBackend, FlashConfig, FlashJob
+
+
+def plain_executor(page_size):
+    def executor(job):
+        return DieExecution(extra_time_s=0.0, payload_bytes=page_size)
+
+    return executor
+
+
+def make_backend(sim, **overrides):
+    defaults = dict(
+        num_channels=2,
+        dies_per_channel=4,
+        page_size=4096,
+        read_latency_s=3e-6,
+        channel_bandwidth_bps=800e6,
+        channel_overhead_s=0.2e-6,
+    )
+    defaults.update(overrides)
+    config = FlashConfig(**defaults)
+    return config, FlashBackend(sim, config, plain_executor(config.page_size))
+
+
+def submit_pages(sim, backend, pages):
+    jobs = []
+    for i, page in enumerate(pages):
+        job = FlashJob(page_index=page, record=StageRecord(command_id=i, hop=0))
+        backend.submit(job)
+        jobs.append(job)
+    return jobs
+
+
+class TestGeometry:
+    def test_locate_stripes_channels_first(self):
+        config = FlashConfig(num_channels=4, dies_per_channel=2)
+        assert config.locate(0) == (0, 0)
+        assert config.locate(1) == (1, 0)
+        assert config.locate(4) == (0, 1)
+        assert config.locate(8) == (0, 0)  # wraps
+
+    def test_locate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FlashConfig().locate(-1)
+
+    def test_total_dies(self):
+        assert FlashConfig(num_channels=16, dies_per_channel=8).total_dies == 128
+
+
+class TestSingleRead:
+    def test_read_plus_transfer_latency(self):
+        sim = Simulator()
+        config, backend = make_backend(sim)
+        jobs = submit_pages(sim, backend, [0])
+        sim.run()
+        rec = jobs[0].record
+        expected = 3e-6 + 0.2e-6 + 4096 / 800e6
+        assert rec.transfer_end == pytest.approx(expected, rel=1e-6)
+        assert rec.flash_start == pytest.approx(0.0)
+        assert rec.flash_end == pytest.approx(3e-6)
+
+    def test_done_event_carries_job(self):
+        sim = Simulator()
+        _, backend = make_backend(sim)
+        got = []
+
+        def proc(sim):
+            job = FlashJob(page_index=0, record=StageRecord(command_id=0, hop=0))
+            result = yield backend.submit(job)
+            got.append(result)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert got[0].execution.payload_bytes == 4096
+
+
+class TestChannelContention:
+    def test_same_die_reads_serialize(self):
+        sim = Simulator()
+        _, backend = make_backend(sim)
+        # pages 0 and 8 are both (channel 0, die 0) with 2 channels, 4 dies
+        jobs = submit_pages(sim, backend, [0, 8])
+        sim.run()
+        assert jobs[1].record.flash_start >= jobs[0].record.flash_end
+
+    def test_different_dies_read_in_parallel(self):
+        sim = Simulator()
+        _, backend = make_backend(sim)
+        # pages 0 and 2 are channel 0, dies 0 and 1
+        jobs = submit_pages(sim, backend, [0, 2])
+        sim.run()
+        assert jobs[0].record.flash_start == pytest.approx(0.0)
+        assert jobs[1].record.flash_start == pytest.approx(0.0)
+
+    def test_transfers_on_one_channel_serialize(self):
+        """The Figure 6 effect: parallel die reads, queued page transfers."""
+        sim = Simulator()
+        config, backend = make_backend(sim)
+        # four dies of channel 0: pages 0, 2, 4, 6
+        jobs = submit_pages(sim, backend, [0, 2, 4, 6])
+        sim.run()
+        ends = sorted(j.record.transfer_end for j in jobs)
+        page_time = config.page_transfer_s
+        # first transfer finishes right after the shared read; the rest queue
+        assert ends[0] == pytest.approx(3e-6 + page_time, rel=1e-6)
+        for a, b in zip(ends, ends[1:]):
+            assert b - a == pytest.approx(page_time, rel=1e-6)
+
+    def test_motivation_throughput_shape(self):
+        """Fig 7a shape: 8 dies on one channel give far less than 8x
+        throughput, while average latency blows up."""
+
+        def run(num_dies, reads_per_die=20):
+            sim = Simulator()
+            _, backend = make_backend(
+                sim, num_channels=1, dies_per_channel=8
+            )
+            pages = []
+            for r in range(reads_per_die):
+                for d in range(num_dies):
+                    pages.append(d)  # page d -> (ch 0, die d)
+            jobs = submit_pages(sim, backend, pages)
+            sim.run()
+            total = sim.now
+            lat = sum(j.record.transfer_end - j.record.issued for j in jobs) / len(jobs)
+            return len(jobs) / total, lat
+
+        thr1, lat1 = run(1)
+        thr8, lat8 = run(8)
+        assert thr8 / thr1 < 2.0  # +49% in the paper; far from 8x
+        assert lat8 / lat1 > 3.0  # 7.7x in the paper
+
+
+class TestOnDieExecution:
+    def test_executor_controls_payload_and_time(self):
+        sim = Simulator()
+        config = FlashConfig(num_channels=1, dies_per_channel=1)
+
+        def sampler_executor(job):
+            return DieExecution(extra_time_s=1e-6, payload_bytes=64, result="r")
+
+        backend = FlashBackend(sim, config, sampler_executor)
+        job = FlashJob(page_index=0, record=StageRecord(command_id=0, hop=0))
+        backend.submit(job)
+        sim.run()
+        rec = job.record
+        assert rec.flash_end == pytest.approx(3e-6 + 1e-6)
+        expected_tx = 0.2e-6 + 64 / 800e6
+        assert rec.transfer_end - rec.flash_end == pytest.approx(expected_tx, rel=1e-6)
+        assert job.execution.result == "r"
+
+    def test_small_payloads_relieve_channel(self):
+        """Die-level sampling shrinks transfers -> much shorter makespan."""
+
+        def run(payload):
+            sim = Simulator()
+            config = FlashConfig(num_channels=1, dies_per_channel=8)
+            backend = FlashBackend(
+                sim, config, lambda job: DieExecution(0.0, payload)
+            )
+            for i in range(64):
+                backend.submit(
+                    FlashJob(page_index=i % 8, record=StageRecord(command_id=i, hop=0))
+                )
+            sim.run()
+            return sim.now
+
+        assert run(4096) > 3 * run(256)
+
+
+class TestInstrumentation:
+    def test_die_trackers_record_busy_time(self):
+        sim = Simulator()
+        _, backend = make_backend(sim)
+        submit_pages(sim, backend, [0, 2])
+        sim.run()
+        backend.close_trackers()
+        busy = [t.busy_time() for t in backend.die_trackers()]
+        assert sum(1 for b in busy if b > 0) == 2
+
+    def test_counters(self):
+        sim = Simulator()
+        _, backend = make_backend(sim)
+        submit_pages(sim, backend, [0, 1, 2, 3])
+        sim.run()
+        assert backend.total_reads == 4
+        assert backend.channel_bytes == 4 * 4096

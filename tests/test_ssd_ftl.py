@@ -1,0 +1,135 @@
+"""Tests for the FTL: mapping, GC, and DirectGraph block reservation."""
+
+import pytest
+
+from repro.ssd import FlashConfig, Ftl, FtlError
+
+
+def make_ftl(blocks=8, pages_per_block=4):
+    config = FlashConfig(pages_per_block=pages_per_block)
+    return Ftl(config, total_blocks=blocks)
+
+
+class TestMapping:
+    def test_write_then_translate(self):
+        ftl = make_ftl()
+        ppa = ftl.write(10)
+        assert ftl.translate(10) == ppa
+
+    def test_unmapped_read_raises(self):
+        ftl = make_ftl()
+        with pytest.raises(FtlError):
+            ftl.translate(5)
+
+    def test_overwrite_moves_page(self):
+        ftl = make_ftl()
+        first = ftl.write(1)
+        second = ftl.write(1)
+        assert second != first
+        assert ftl.translate(1) == second
+
+    def test_negative_lpa_rejected(self):
+        ftl = make_ftl()
+        with pytest.raises(FtlError):
+            ftl.write(-1)
+
+    def test_sequential_writes_fill_block(self):
+        ftl = make_ftl(pages_per_block=4)
+        ppas = [ftl.write(i) for i in range(4)]
+        assert ppas == [0, 1, 2, 3]
+
+
+class TestGarbageCollection:
+    def test_gc_reclaims_overwritten_blocks(self):
+        ftl = make_ftl(blocks=4, pages_per_block=4)
+        # keep overwriting one LPA: old pages invalidate, GC must reclaim
+        for _ in range(40):
+            ftl.write(0)
+        assert ftl.gc_runs > 0
+        assert ftl.translate(0) is not None
+
+    def test_gc_preserves_valid_data(self):
+        ftl = make_ftl(blocks=4, pages_per_block=4)
+        stable = {lpa: ftl.write(lpa) for lpa in range(3)}
+        for _ in range(30):
+            ftl.write(99)  # churn
+        for lpa in stable:
+            ppa = ftl.translate(lpa)
+            assert ftl.reverse[ppa] == lpa
+
+    def test_device_full_raises(self):
+        ftl = make_ftl(blocks=4, pages_per_block=2)
+        with pytest.raises(FtlError):
+            for lpa in range(100):
+                ftl.write(lpa)  # all-unique LPAs: no garbage to collect
+
+
+class TestReservedBlocks:
+    def test_reserve_returns_distinct_blocks(self):
+        ftl = make_ftl(blocks=8)
+        blocks = ftl.reserve_blocks(3)
+        assert len(set(blocks)) == 3
+        assert ftl.reserved_blocks() == sorted(blocks)
+
+    def test_reserved_blocks_leave_allocation_pool(self):
+        ftl = make_ftl(blocks=4, pages_per_block=2)
+        ftl.reserve_blocks(2)
+        assert ftl.free_block_count == 2
+        ppas = [ftl.write(i) for i in range(4)]
+        for ppa in ppas:
+            assert not ftl.is_reserved_ppa(ppa)
+
+    def test_ppa_list_covers_reserved_pages(self):
+        ftl = make_ftl(blocks=8, pages_per_block=4)
+        blocks = ftl.reserve_blocks(2)
+        ppas = ftl.ppa_list(blocks)
+        assert len(ppas) == 8
+        assert all(ftl.is_reserved_ppa(p) for p in ppas)
+
+    def test_ppa_list_rejects_unreserved(self):
+        ftl = make_ftl()
+        with pytest.raises(FtlError):
+            ftl.ppa_list([7])
+
+    def test_over_reservation_rejected(self):
+        ftl = make_ftl(blocks=4)
+        with pytest.raises(FtlError):
+            ftl.reserve_blocks(5)
+
+    def test_release_returns_blocks_with_erase(self):
+        ftl = make_ftl(blocks=8)
+        blocks = ftl.reserve_blocks(2)
+        before = {b: ftl.blocks[b].erase_count for b in blocks}
+        ftl.release_blocks(blocks)
+        assert ftl.reserved_blocks() == []
+        assert ftl.free_block_count == 8
+        for b in blocks:
+            assert ftl.blocks[b].erase_count == before[b] + 1
+
+    def test_release_unreserved_rejected(self):
+        ftl = make_ftl()
+        with pytest.raises(FtlError):
+            ftl.release_blocks([0])
+
+    def test_capacity_excludes_reserved(self):
+        ftl = make_ftl(blocks=8, pages_per_block=4)
+        full = ftl.capacity_pages()
+        ftl.reserve_blocks(2)
+        assert ftl.capacity_pages() == full - 8
+
+
+class TestWearTracking:
+    def test_wear_gap_grows_with_regular_churn(self):
+        ftl = make_ftl(blocks=6, pages_per_block=2)
+        ftl.reserve_blocks(2)
+        assert ftl.wear_gap() == 0
+        for _ in range(50):
+            ftl.write(0)
+        assert ftl.wear_gap() > 0
+
+    def test_record_reserved_program(self):
+        ftl = make_ftl(blocks=6)
+        blocks = ftl.reserve_blocks(2)
+        ftl.record_reserved_program(blocks)
+        for b in blocks:
+            assert ftl.blocks[b].erase_count == 1

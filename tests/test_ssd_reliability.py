@@ -1,0 +1,129 @@
+"""Tests for scrubbing, relocation, and wear reclamation (Section VI-F)."""
+
+import pytest
+
+from repro.directgraph import DirectGraphReader, FormatSpec, build_directgraph
+from repro.gnn import DenseFeatureTable, power_law_graph
+from repro.ssd import FlashConfig, Ftl, Scrubber, WearReclaimer
+from repro.ssd.reliability import relocate_image
+
+
+def build_image(num_nodes=80, dim=8, page_size=1024, seed=3):
+    g = power_law_graph(num_nodes, 10.0, seed=seed)
+    feats = DenseFeatureTable.random(num_nodes, dim, seed=0)
+    spec = FormatSpec(page_size=page_size, feature_dim=dim)
+    return g, feats, build_directgraph(g, feats, spec)
+
+
+class TestScrubber:
+    def test_clean_image_reports_no_errors(self):
+        _, _, image = build_image()
+        scrubber = Scrubber(image, pages_per_block=4)
+        report = scrubber.scrub()
+        assert report.errors_found == 0
+        assert report.pages_checked == image.num_pages
+
+    def test_injected_error_detected_and_repaired(self):
+        g, _, image = build_image()
+        scrubber = Scrubber(image, pages_per_block=4)
+        scrubber.inject_bit_error(0, byte_offset=100)
+        assert not scrubber.page_is_clean(0)
+        report = scrubber.scrub()
+        assert report.errors_found == 1
+        assert 0 in report.blocks_reprogrammed
+        assert scrubber.page_is_clean(0)
+        # after repair the graph reads back correctly
+        reader = DirectGraphReader(image)
+        assert reader.neighbors(0) == [int(x) for x in g.neighbors(0)]
+
+    def test_whole_block_reprogrammed_on_error(self):
+        _, _, image = build_image()
+        if image.num_pages < 5:
+            pytest.skip("image too small for block test")
+        scrubber = Scrubber(image, pages_per_block=4)
+        scrubber.inject_bit_error(1)
+        report = scrubber.scrub()
+        assert report.blocks_reprogrammed == [0]  # page 1 lives in block 0
+
+    def test_plan_only_image_rejected(self):
+        g = power_law_graph(20, 4.0, seed=1)
+        spec = FormatSpec(page_size=1024, feature_dim=8)
+        image = build_directgraph(g, None, spec, serialize=False)
+        with pytest.raises(ValueError):
+            Scrubber(image, pages_per_block=4)
+
+
+class TestRelocation:
+    def test_relocated_image_reads_identically(self):
+        g, feats, image = build_image()
+        shift = 1000
+        mapping = {p.page_index: p.page_index + shift for p in image.page_plans}
+        moved = relocate_image(image, mapping)
+        reader = DirectGraphReader(moved)
+        for node in range(0, g.num_nodes, 9):
+            assert reader.neighbors(node) == [int(x) for x in g.neighbors(node)]
+        import numpy as np
+
+        assert np.array_equal(reader.feature(5), feats.vector(5))
+
+    def test_relocation_updates_primary_addresses(self):
+        _, _, image = build_image()
+        mapping = {p.page_index: p.page_index + 50 for p in image.page_plans}
+        moved = relocate_image(image, mapping)
+        for node in range(image.num_nodes):
+            assert moved.address_of(node).page == image.address_of(node).page + 50
+
+    def test_incomplete_mapping_rejected(self):
+        _, _, image = build_image()
+        with pytest.raises(ValueError):
+            relocate_image(image, {0: 100})
+
+    def test_original_image_untouched(self):
+        g, _, image = build_image()
+        before = dict(image.pages)
+        mapping = {p.page_index: p.page_index + 10 for p in image.page_plans}
+        relocate_image(image, mapping)
+        assert image.pages == before
+
+
+class TestWearReclaimer:
+    def _setup(self):
+        g, feats, image = build_image(num_nodes=40, page_size=1024)
+        pages_needed = image.num_pages
+        ppb = 4
+        blocks_needed = -(-pages_needed // ppb)
+        config = FlashConfig(pages_per_block=ppb)
+        ftl = Ftl(config, total_blocks=blocks_needed * 2 + 8)
+        old_blocks = ftl.reserve_blocks(blocks_needed)
+        # image pages were numbered 0..N-1 by the builder; map them onto the
+        # reserved ppa_list as the host flush would
+        ppas = ftl.ppa_list(old_blocks)
+        mapping = {p.page_index: ppas[p.page_index] for p in image.page_plans}
+        image = relocate_image(image, mapping)
+        return g, image, ftl, old_blocks
+
+    def test_reclaim_moves_image_and_returns_blocks(self):
+        g, image, ftl, old_blocks = self._setup()
+        reclaimer = WearReclaimer(ftl, threshold=1)
+        new_image, new_blocks = reclaimer.reclaim(image, old_blocks)
+        assert set(new_blocks).isdisjoint(set(old_blocks))
+        reader = DirectGraphReader(new_image)
+        assert reader.neighbors(3) == [int(x) for x in g.neighbors(3)]
+        # old blocks are back under FTL management
+        assert not any(ftl.blocks[b].reserved for b in old_blocks)
+
+    def test_should_reclaim_tracks_gap(self):
+        _, _, ftl, _ = self._setup()
+        reclaimer = WearReclaimer(ftl, threshold=5)
+        assert not reclaimer.should_reclaim()
+        # churn one LPA until regular blocks accumulate erase cycles
+        for _ in range(20_000):
+            ftl.write(0)
+            if reclaimer.should_reclaim():
+                break
+        assert reclaimer.should_reclaim()
+
+    def test_threshold_validation(self):
+        _, _, ftl, _ = self._setup()
+        with pytest.raises(ValueError):
+            WearReclaimer(ftl, threshold=0)

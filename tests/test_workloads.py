@@ -1,0 +1,103 @@
+"""Tests for the Table III workload registry."""
+
+import pytest
+
+from repro.workloads import (
+    FEATURE_ELEM_BYTES,
+    NODE_ID_BYTES,
+    WORKLOADS,
+    WorkloadSpec,
+    workload_by_name,
+    workload_names,
+)
+
+# Table IV raw sizes (GB)
+PAPER_RAW_GB = {
+    "reddit": 242.6,
+    "amazon": 397.2,
+    "movielens": 221.8,
+    "ogbn": 30.02,
+    "ppi": 37.1,
+}
+
+
+class TestRegistry:
+    def test_all_five_benchmarks_present(self):
+        assert set(workload_names()) == {
+            "reddit",
+            "amazon",
+            "movielens",
+            "ogbn",
+            "ppi",
+        }
+
+    def test_lookup_case_insensitive(self):
+        assert workload_by_name("REDDIT").name == "reddit"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload_by_name("imaginary")
+
+    def test_raw_sizes_match_table4(self):
+        for name, spec in WORKLOADS.items():
+            assert spec.raw_size_gb == pytest.approx(
+                PAPER_RAW_GB[name], rel=0.05
+            ), name
+
+    def test_ogbn_degree_is_28(self):
+        """Stated explicitly in Section VII-F."""
+        assert workload_by_name("ogbn").avg_degree == 28.0
+
+    def test_feature_length_classes(self):
+        """reddit/ppi are feature-heavy; movielens/ogbn feature-light."""
+        dims = {name: spec.feature_dim for name, spec in WORKLOADS.items()}
+        assert min(dims["reddit"], dims["ppi"]) > 4 * max(
+            dims["movielens"], dims["ogbn"]
+        )
+
+
+class TestWorkloadSpec:
+    def test_scaled_preserves_shape(self):
+        spec = workload_by_name("amazon")
+        small = spec.scaled(1000)
+        assert small.num_nodes == 1000
+        assert small.avg_degree == spec.avg_degree
+        assert small.feature_dim == spec.feature_dim
+        assert small.name == spec.name
+
+    def test_instantiate_matches_spec(self):
+        spec = workload_by_name("ogbn").scaled(2000)
+        graph, features = spec.instantiate()
+        assert graph.num_nodes == 2000
+        assert features.num_nodes == 2000
+        assert features.dim == spec.feature_dim
+        assert graph.average_degree == pytest.approx(spec.avg_degree, rel=0.25)
+
+    def test_raw_bytes_formula(self):
+        spec = WorkloadSpec("x", num_nodes=10, avg_degree=5.0, feature_dim=4)
+        expected = 10 * (4 * FEATURE_ELEM_BYTES + 5.0 * NODE_ID_BYTES)
+        assert spec.raw_size_bytes == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", num_nodes=0, avg_degree=5.0, feature_dim=4)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", num_nodes=10, avg_degree=0.5, feature_dim=4)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", num_nodes=10, avg_degree=5.0, feature_dim=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                "x", num_nodes=10, avg_degree=5.0, feature_dim=4,
+                degree_family="zipf",
+            )
+
+    def test_degree_families_differ(self):
+        uniform = WorkloadSpec(
+            "u", num_nodes=3000, avg_degree=30.0, feature_dim=4,
+            degree_family="uniform",
+        ).build_graph()
+        heavy = WorkloadSpec(
+            "p", num_nodes=3000, avg_degree=30.0, feature_dim=4,
+            degree_family="powerlaw",
+        ).build_graph()
+        assert heavy.degrees().max() > 2 * uniform.degrees().max()
