@@ -25,11 +25,16 @@ PLATFORM_ORDER = [
 ]
 
 
-def test_fig14_throughput(benchmark, run_cache):
+def test_fig14_throughput(benchmark, grid_runner, make_cell):
     def experiment():
+        workloads = workload_names()
+        cells = [
+            make_cell(p, w) for w in workloads for p in PLATFORM_ORDER
+        ]
+        results = iter(grid_runner(cells).results)
         table = {}
-        for workload in workload_names():
-            runs = {p: run_cache(p, workload) for p in PLATFORM_ORDER}
+        for workload in workloads:
+            runs = {p: next(results) for p in PLATFORM_ORDER}
             base = runs["cc"].throughput_targets_per_sec
             table[workload] = {
                 p: runs[p].throughput_targets_per_sec / base for p in PLATFORM_ORDER

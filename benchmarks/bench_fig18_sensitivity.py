@@ -16,21 +16,26 @@ PLATFORMS = ["bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
 WORKLOAD = "amazon"
 
 
-def _sweep(run_cache, label, variants, **run_kwargs):
-    """variants: list of (value, ssd_config, extra run kwargs)."""
-    table = {}
+def _sweep(grid_runner, make_cell, variants, **run_kwargs):
+    """variants: list of (value, ssd_config, extra run kwargs).
+
+    The whole sweep is one ``run_grid`` fan-out — every (value, platform)
+    cell is independent, so they parallelize across worker processes.
+    """
+    cells = []
+    index = []
     for value, config, extra in variants:
         kwargs = dict(run_kwargs)
         kwargs.update(extra)
         for platform in PLATFORMS:
-            run = run_cache(
-                platform,
-                WORKLOAD,
-                ssd_config=config,
-                config_key=f"{label}={value}",
-                **kwargs,
+            cells.append(
+                make_cell(platform, WORKLOAD, ssd_config=config, **kwargs)
             )
-            table.setdefault(platform, {})[value] = run.throughput_targets_per_sec
+            index.append((platform, value))
+    outcome = grid_runner(cells)
+    table = {}
+    for (platform, value), run in zip(index, outcome.results):
+        table.setdefault(platform, {})[value] = run.throughput_targets_per_sec
     return table
 
 
@@ -51,12 +56,12 @@ def _print(table, label, values):
     )
 
 
-def test_fig18_batch_size(benchmark, run_cache):
+def test_fig18_batch_size(benchmark, grid_runner, make_cell):
     values = [32, 64, 128, 256]
 
     def experiment():
         variants = [(v, None, {"batch_size": v}) for v in values]
-        return _sweep(run_cache, "batch", variants)
+        return _sweep(grid_runner, make_cell, variants)
 
     table = benchmark.pedantic(experiment, rounds=1, iterations=1)
     _print(table, "batch", values)
@@ -69,7 +74,7 @@ def test_fig18_batch_size(benchmark, run_cache):
     assert gap_large < gap_small
 
 
-def test_fig18_channel_bandwidth(benchmark, run_cache):
+def test_fig18_channel_bandwidth(benchmark, grid_runner, make_cell):
     values = [333, 800, 1600, 2400]
 
     def experiment():
@@ -77,7 +82,7 @@ def test_fig18_channel_bandwidth(benchmark, run_cache):
             (v, ull_ssd().with_flash(channel_bandwidth_bps=v * 1e6), {})
             for v in values
         ]
-        return _sweep(run_cache, "chbw", variants)
+        return _sweep(grid_runner, make_cell, variants)
 
     table = benchmark.pedantic(experiment, rounds=1, iterations=1)
     _print(table, "chbw(MB/s)", values)
@@ -89,12 +94,12 @@ def test_fig18_channel_bandwidth(benchmark, run_cache):
     assert table["bg2"][2400] / table["bg2"][800] < gain["bg1"]
 
 
-def test_fig18_core_count(benchmark, run_cache):
+def test_fig18_core_count(benchmark, grid_runner, make_cell):
     values = [1, 2, 4, 8]
 
     def experiment():
         variants = [(v, ull_ssd().with_firmware(num_cores=v), {}) for v in values]
-        return _sweep(run_cache, "cores", variants)
+        return _sweep(grid_runner, make_cell, variants)
 
     table = benchmark.pedantic(experiment, rounds=1, iterations=1)
     _print(table, "cores", values)
@@ -107,14 +112,14 @@ def test_fig18_core_count(benchmark, run_cache):
     assert gap8 < gap1
 
 
-def test_fig18_channel_count(benchmark, run_cache):
+def test_fig18_channel_count(benchmark, grid_runner, make_cell):
     values = [4, 8, 16, 32]
 
     def experiment():
         variants = [
             (v, ull_ssd().with_flash(num_channels=v), {}) for v in values
         ]
-        return _sweep(run_cache, "channels", variants)
+        return _sweep(grid_runner, make_cell, variants)
 
     table = benchmark.pedantic(experiment, rounds=1, iterations=1)
     _print(table, "channels", values)
@@ -127,14 +132,14 @@ def test_fig18_channel_count(benchmark, run_cache):
     assert table["bg2"][32] / table["bg2"][16] < table["bg2"][16] / table["bg2"][8]
 
 
-def test_fig18_die_count(benchmark, run_cache):
+def test_fig18_die_count(benchmark, grid_runner, make_cell):
     values = [2, 4, 8, 16]
 
     def experiment():
         variants = [
             (v, ull_ssd().with_flash(dies_per_channel=v), {}) for v in values
         ]
-        return _sweep(run_cache, "dies", variants)
+        return _sweep(grid_runner, make_cell, variants)
 
     table = benchmark.pedantic(experiment, rounds=1, iterations=1)
     _print(table, "dies/ch", values)
@@ -144,14 +149,14 @@ def test_fig18_die_count(benchmark, run_cache):
     assert table["bg2"][16] / table["bg2"][2] > table["bg1"][16] / table["bg1"][2]
 
 
-def test_fig18_page_size(benchmark, run_cache):
+def test_fig18_page_size(benchmark, grid_runner, make_cell):
     values = [2048, 4096, 8192, 16384]
 
     def experiment():
         variants = [
             (v, ull_ssd().with_flash(page_size=v), {}) for v in values
         ]
-        return _sweep(run_cache, "page", variants)
+        return _sweep(grid_runner, make_cell, variants)
 
     table = benchmark.pedantic(experiment, rounds=1, iterations=1)
     _print(table, "page", values)

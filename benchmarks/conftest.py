@@ -1,14 +1,19 @@
 """Shared fixtures for the benchmark harness.
 
-Workload images and platform runs are cached per session so that Figures
-14-17 and 19 (which all analyze the same sweep) simulate each
-(platform, workload) pair exactly once.
+Platform runs go through :func:`repro.orchestrate.run_grid` with one
+shared content-addressed result cache per session, so Figures 14-17 and
+19 (which all analyze the same sweep) simulate each (platform, workload)
+pair exactly once — and grid-shaped benchmarks (Fig 14/18) fan their
+cells across worker processes when ``REPRO_BENCH_JOBS`` > 1.
 
 Scale knobs (environment variables):
 
-* ``REPRO_BENCH_NODES``   — scaled node count per workload (default 4096)
-* ``REPRO_BENCH_BATCH``   — mini-batch size (default 64)
-* ``REPRO_BENCH_NBATCH``  — pipelined batches per run (default 2)
+* ``REPRO_BENCH_NODES``     — scaled node count per workload (default 4096)
+* ``REPRO_BENCH_BATCH``     — mini-batch size (default 64)
+* ``REPRO_BENCH_NBATCH``    — pipelined batches per run (default 2)
+* ``REPRO_BENCH_JOBS``      — worker processes per grid (default 1)
+* ``REPRO_BENCH_CACHE_DIR`` — persistent result cache (default: per-session
+  temporary directory, so benchmark runs stay self-contained)
 """
 
 from __future__ import annotations
@@ -19,7 +24,8 @@ from typing import Dict, Tuple
 
 import pytest
 
-from repro.platforms import PreparedWorkload, run_platform
+from repro.orchestrate import GridCell, ResultCache, run_grid
+from repro.platforms import PreparedWorkload
 from repro.ssd import SSDConfig
 from repro.workloads import workload_by_name
 
@@ -29,6 +35,7 @@ class BenchEnv:
     nodes: int
     batch: int
     nbatch: int
+    jobs: int
 
 
 @pytest.fixture(scope="session")
@@ -37,6 +44,7 @@ def bench_env() -> BenchEnv:
         nodes=int(os.environ.get("REPRO_BENCH_NODES", "4096")),
         batch=int(os.environ.get("REPRO_BENCH_BATCH", "64")),
         nbatch=int(os.environ.get("REPRO_BENCH_NBATCH", "2")),
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
     )
 
 
@@ -55,8 +63,52 @@ def prepared_cache(bench_env):
 
 
 @pytest.fixture(scope="session")
-def run_cache(bench_env, prepared_cache):
-    cache = {}
+def grid_cache(tmp_path_factory) -> ResultCache:
+    root = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if not root:
+        root = tmp_path_factory.mktemp("result-cache")
+    return ResultCache(root)
+
+
+@pytest.fixture(scope="session")
+def make_cell(bench_env):
+    """Build a GridCell with the session's scale defaults applied."""
+
+    def make(
+        platform: str,
+        workload: str,
+        ssd_config: SSDConfig = None,
+        **kwargs,
+    ) -> GridCell:
+        params = dict(
+            batch_size=bench_env.batch,
+            num_batches=bench_env.nbatch,
+            scaled_nodes=bench_env.nodes,
+            seed=0,
+        )
+        params.update(kwargs)
+        return GridCell(
+            platform=platform, workload=workload, ssd_config=ssd_config, **params
+        )
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def grid_runner(bench_env, grid_cache):
+    def run(cells):
+        return run_grid(cells, jobs=bench_env.jobs, cache=grid_cache)
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def run_cache(grid_runner, make_cell):
+    """One platform run; cached by content, shared across all benchmarks.
+
+    ``config_key`` is accepted for backwards compatibility but ignored —
+    cache keys are content hashes of the actual configuration now.
+    """
 
     def get(
         platform: str,
@@ -65,19 +117,8 @@ def run_cache(bench_env, prepared_cache):
         config_key: str = "default",
         **kwargs,
     ):
-        key = (platform, workload, config_key, tuple(sorted(kwargs.items())))
-        if key not in cache:
-            page_size = ssd_config.flash.page_size if ssd_config else 4096
-            params = dict(
-                batch_size=bench_env.batch, num_batches=bench_env.nbatch
-            )
-            params.update(kwargs)
-            cache[key] = run_platform(
-                platform,
-                prepared_cache(workload, page_size),
-                ssd_config=ssd_config,
-                **params,
-            )
-        return cache[key]
+        del config_key
+        cell = make_cell(platform, workload, ssd_config=ssd_config, **kwargs)
+        return grid_runner([cell]).results[0]
 
     return get

@@ -17,6 +17,7 @@ __version__ = "1.0.0"
 
 from .workloads import WORKLOADS, WorkloadSpec, workload_by_name  # noqa: F401
 from .platforms import PLATFORMS, run_platform  # noqa: F401
+from .orchestrate import GridCell, ResultCache, run_grid  # noqa: F401
 
 __all__ = [
     "WORKLOADS",
@@ -24,5 +25,8 @@ __all__ = [
     "workload_by_name",
     "PLATFORMS",
     "run_platform",
+    "GridCell",
+    "ResultCache",
+    "run_grid",
     "__version__",
 ]

@@ -1,6 +1,13 @@
-"""Benchmark-harness utilities (tables, normalization, export)."""
+"""Benchmark-harness utilities (tables, normalization, export, loading)."""
 
-from .export import result_to_dict, write_json, write_series_csv
+from .export import (
+    load_cached,
+    read_results,
+    result_to_dict,
+    write_json,
+    write_results,
+    write_series_csv,
+)
 from .tables import format_series, format_table, geomean, normalize
 
 __all__ = [
@@ -11,4 +18,7 @@ __all__ = [
     "result_to_dict",
     "write_json",
     "write_series_csv",
+    "write_results",
+    "read_results",
+    "load_cached",
 ]

@@ -4,6 +4,11 @@
 into plain JSON-serializable data; ``write_json`` / ``write_series_csv``
 persist results and utilization time-series so the paper's figures can be
 re-plotted with any tool.
+
+``write_results`` / ``read_results`` persist *full-fidelity* results
+(the lossless :mod:`repro.orchestrate` payload form), and
+:func:`load_cached` reloads a finished sweep straight from the
+orchestration result cache without re-simulating anything.
 """
 
 from __future__ import annotations
@@ -13,9 +18,20 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Union
 
+from ..orchestrate.serialize import result_from_payload, result_to_payload
 from ..platforms.result import RunResult
 
-__all__ = ["result_to_dict", "write_json", "write_series_csv"]
+# re-exported here so analysis code has one import for "load results"
+from ..orchestrate.grid import load_cached  # noqa: F401
+
+__all__ = [
+    "result_to_dict",
+    "write_json",
+    "write_series_csv",
+    "write_results",
+    "read_results",
+    "load_cached",
+]
 
 
 def result_to_dict(result: RunResult, series_bins: int = 40) -> Dict:
@@ -72,6 +88,30 @@ def write_json(
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
+
+
+def write_results(
+    results: Union[RunResult, Iterable[RunResult]],
+    path: Union[str, Path],
+) -> Path:
+    """Persist results losslessly; inverse of :func:`read_results`.
+
+    Unlike :func:`write_json` (a flattened view for plotting tools), the
+    written payloads reconstruct real :class:`RunResult` objects that
+    answer every derived query identically to the originals.
+    """
+    if isinstance(results, RunResult):
+        results = [results]
+    payloads = [result_to_payload(r) for r in results]
+    path = Path(path)
+    path.write_text(json.dumps(payloads, indent=2, sort_keys=True))
+    return path
+
+
+def read_results(path: Union[str, Path]) -> List[RunResult]:
+    """Reload results written by :func:`write_results`."""
+    payloads = json.loads(Path(path).read_text())
+    return [result_from_payload(p) for p in payloads]
 
 
 def write_series_csv(

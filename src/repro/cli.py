@@ -7,6 +7,13 @@ Subcommands
 ``sweep``    sweep one architecture knob (a Figure 18 slice)
 ``inflate``  DirectGraph storage-inflation report (Table IV)
 ``info``     print the Table II configuration and platform list
+``cache``    result-cache maintenance (``stats`` / ``clear``)
+
+``run``/``compare``/``sweep`` all go through :func:`repro.orchestrate.run_grid`:
+``--jobs N`` fans the grid across N worker processes, and the
+content-addressed result cache (``--cache-dir``, default ``~/.cache/repro``)
+makes repeated invocations skip already-simulated cells; ``--no-cache``
+opts out. Parallel and cached runs are bit-identical to serial cold runs.
 """
 
 from __future__ import annotations
@@ -16,11 +23,10 @@ import sys
 from typing import List, Optional
 
 from .bench import format_table
+from .orchestrate import GridCell, ResultCache, run_grid
 from .platforms import (
     PLATFORMS,
-    PreparedWorkload,
     platform_by_name,
-    run_platform,
 )
 from .ssd import traditional_ssd, ull_ssd
 from .workloads import WORKLOADS, workload_by_name
@@ -59,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     inflate.add_argument("--nodes", type=int, default=60_000)
 
     sub.add_parser("info", help="configuration + platform list")
+
+    cache = sub.add_parser("cache", help="result-cache maintenance")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", default=None)
     return parser
 
 
@@ -72,33 +82,56 @@ def _common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--traditional", action="store_true", help="20us-read flash (Sec VII-E)"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the grid"
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse / record results in the on-disk cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="cache directory (default ~/.cache/repro)"
+    )
 
 
 def _config(args) -> object:
     return traditional_ssd() if getattr(args, "traditional", False) else ull_ssd()
 
 
-def _prepare(args, workload_name: str) -> PreparedWorkload:
-    spec = workload_by_name(workload_name).scaled(args.nodes)
-    return PreparedWorkload.prepare(spec)
+def _result_cache(args) -> Optional[ResultCache]:
+    if not getattr(args, "cache", False):
+        return None
+    return ResultCache(args.cache_dir)
 
 
-def _run_one(args, platform: str, prepared: PreparedWorkload):
-    return run_platform(
-        platform,
-        prepared,
-        ssd_config=_config(args),
+def _cell(args, platform: str, workload: str, ssd_config=None, **overrides) -> GridCell:
+    params = dict(
         batch_size=args.batch,
         num_batches=args.batches,
         num_hops=args.hops,
         fanout=args.fanout,
         seed=args.seed,
+        scaled_nodes=args.nodes,
+    )
+    params.update(overrides)
+    return GridCell(
+        platform=platform,
+        workload=workload,
+        ssd_config=ssd_config if ssd_config is not None else _config(args),
+        **params,
     )
 
 
+def _grid_summary(outcome) -> str:
+    return f"[{outcome.executed} simulated, {outcome.cache_hits} from cache]"
+
+
 def cmd_run(args) -> int:
-    prepared = _prepare(args, args.workload)
-    result = _run_one(args, platform_by_name(args.platform).name, prepared)
+    cell = _cell(args, platform_by_name(args.platform).name, args.workload)
+    outcome = run_grid([cell], jobs=args.jobs, cache=_result_cache(args))
+    result = outcome.results[0]
     rows = [
         ("throughput (targets/s)", f"{result.throughput_targets_per_sec:,.0f}"),
         ("mean prep (us)", round(result.mean_prep_seconds * 1e6, 1)),
@@ -116,15 +149,16 @@ def cmd_run(args) -> int:
             title=f"{args.platform} on {args.workload} ({args.nodes} nodes)",
         )
     )
+    print(_grid_summary(outcome))
     return 0
 
 
 def cmd_compare(args) -> int:
-    prepared = _prepare(args, args.workload)
+    cells = [_cell(args, name, args.workload) for name in PLATFORMS]
+    outcome = run_grid(cells, jobs=args.jobs, cache=_result_cache(args))
     rows = []
     base = None
-    for name in PLATFORMS:
-        result = _run_one(args, name, prepared)
+    for name, result in zip(PLATFORMS, outcome.results):
         thr = result.throughput_targets_per_sec
         if base is None:
             base = thr
@@ -139,6 +173,7 @@ def cmd_compare(args) -> int:
             title=f"all platforms on {args.workload}",
         )
     )
+    print(_grid_summary(outcome))
     return 0
 
 
@@ -162,19 +197,18 @@ def cmd_sweep(args) -> int:
         ],
         "batch": [(f"{v}", None, {"batch_size": v}) for v in (32, 64, 128, 256)],
     }[args.knob]
-    prepared = _prepare(args, args.workload)
+    cells = [
+        _cell(args, platform, args.workload, ssd_config=config, **extra)
+        for _label, config, extra in variants
+        for platform in platforms
+    ]
+    outcome = run_grid(cells, jobs=args.jobs, cache=_result_cache(args))
+    results = iter(outcome.results)
     rows = []
-    for label, config, extra in variants:
+    for label, _config, _extra in variants:
         row = [label]
-        for platform in platforms:
-            kwargs = dict(
-                batch_size=args.batch, num_batches=args.batches,
-                num_hops=args.hops, fanout=args.fanout, seed=args.seed,
-            )
-            kwargs.update(extra)
-            result = run_platform(
-                platform, prepared, ssd_config=config, **kwargs
-            )
+        for _platform in platforms:
+            result = next(results)
             row.append(f"{result.throughput_targets_per_sec:,.0f}")
         rows.append(row)
     print(
@@ -184,6 +218,20 @@ def cmd_sweep(args) -> int:
             title=f"sweep {args.knob} on {args.workload}",
         )
     )
+    print(_grid_summary(outcome))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+    else:
+        stats = cache.stats()
+        print(f"cache dir: {cache.root}")
+        print(f"entries:   {stats.entries}")
+        print(f"size:      {stats.total_mb:.2f} MB")
     return 0
 
 
@@ -246,6 +294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "inflate": cmd_inflate,
         "info": cmd_info,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

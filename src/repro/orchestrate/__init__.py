@@ -1,0 +1,38 @@
+"""Parallel experiment orchestration with content-addressed result caching.
+
+The fan-out layer over ``repro.platforms.run_platform``: build a grid of
+:class:`GridCell`\\ s, hand it to :func:`run_grid`, and get bit-identical
+results whether the grid runs on one process or eight, cold or from the
+on-disk :class:`ResultCache`.
+"""
+
+from .cache import CacheStats, ResultCache, default_cache_dir, stable_hash
+from .grid import (
+    GridCell,
+    GridOutcome,
+    cell_cache_key,
+    derive_cell_seed,
+    load_cached,
+    run_grid,
+)
+from .serialize import (
+    RESULT_SCHEMA_VERSION,
+    result_from_payload,
+    result_to_payload,
+)
+
+__all__ = [
+    "GridCell",
+    "GridOutcome",
+    "run_grid",
+    "load_cached",
+    "derive_cell_seed",
+    "cell_cache_key",
+    "ResultCache",
+    "CacheStats",
+    "default_cache_dir",
+    "stable_hash",
+    "RESULT_SCHEMA_VERSION",
+    "result_to_payload",
+    "result_from_payload",
+]

@@ -1,0 +1,141 @@
+"""Content-addressed on-disk result cache.
+
+A cache entry is one simulated grid cell, keyed by a stable hash of
+*everything that determines the result*: the SSD configuration, the
+platform feature bundle, the (scaled) workload spec, the run parameters,
+and the code/schema version. Equal inputs always map to the same key, so
+repeated sweeps, CI runs, and overlapping benchmark grids skip cells that
+have already been simulated — regardless of which entry point ran them
+first.
+
+Entries are JSON documents written atomically (tmp file + rename), so a
+killed run never leaves a truncated entry behind; unreadable entries are
+treated as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import numbers
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "stable_hash",
+    "json_default",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+]
+
+
+def json_default(obj):
+    """Coerce numpy scalars (and other number-likes) for ``json.dumps``."""
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _canonicalize(obj):
+    """Reduce configs/specs to plain JSON values with deterministic shape."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(v) for v in obj]
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    raise TypeError(f"cannot hash {type(obj).__name__} into a cache key")
+
+
+def stable_hash(obj) -> str:
+    """Hex digest that depends only on the *values* in ``obj``.
+
+    Dataclasses (SSDConfig, PlatformFeatures, WorkloadSpec, ...) hash by
+    field values, dicts by sorted key, so logically-equal inputs built in
+    different ways produce identical keys.
+    """
+    encoded = json.dumps(
+        _canonicalize(obj), sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(encoded).hexdigest()[:40]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of what a cache directory holds."""
+
+    entries: int
+    total_bytes: int
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / 1e6
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` entries, one per simulated cell."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored document, or None on miss / unreadable entry."""
+        path = self.path_for(key)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, document: Dict) -> Path:
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(document, sort_keys=True, default=json_default)
+        )
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> CacheStats:
+        entries = list(self.root.glob("*.json"))
+        return CacheStats(
+            entries=len(entries),
+            total_bytes=sum(p.stat().st_size for p in entries),
+        )

@@ -1,0 +1,271 @@
+"""Parallel experiment fan-out: ``run_grid`` over (platform, workload) cells.
+
+Every benchmark grid in this repo is embarrassingly parallel — each
+(platform, workload, config) cell is one independent discrete-event
+simulation. :func:`run_grid` fans a grid across worker processes and
+funnels results through the content-addressed :class:`ResultCache`.
+
+Determinism contract: a cell's result depends only on the cell itself
+(and, when its seed is left unset, on the grid ``base_seed``), never on
+worker count or execution order. Per-cell seeds are derived with the
+same ``repro.rng`` counter stream used by the samplers — keyed by the
+cell's content hash — so ``--jobs 8`` is bit-identical to ``--jobs 1``,
+and a cached result is bit-identical to a fresh one (both pass through
+the same JSON round trip).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import __version__
+from ..platforms.features import PlatformFeatures
+from ..platforms.registry import platform_by_name
+from ..platforms.result import RunResult
+from ..platforms.runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_platform
+from ..rng import counter_draw
+from ..ssd.config import SSDConfig, ull_ssd
+from ..workloads.registry import workload_by_name
+from ..workloads.specs import WorkloadSpec
+from .cache import ResultCache, stable_hash
+from .serialize import (
+    RESULT_SCHEMA_VERSION,
+    result_from_payload,
+    result_to_payload,
+)
+
+__all__ = [
+    "GridCell",
+    "GridOutcome",
+    "run_grid",
+    "load_cached",
+    "derive_cell_seed",
+    "cell_cache_key",
+]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One experiment: a platform on a workload under one configuration.
+
+    ``platform`` and ``workload`` accept registry names or resolved
+    objects; both hash identically in the cache key. ``seed=None`` asks
+    :func:`run_grid` to derive a deterministic per-cell seed from its
+    ``base_seed`` and the cell's content.
+    """
+
+    platform: Union[str, PlatformFeatures]
+    workload: Union[str, WorkloadSpec]
+    ssd_config: Optional[SSDConfig] = None
+    batch_size: int = 64
+    num_batches: int = 3
+    num_hops: int = 3
+    fanout: int = 3
+    hidden_dim: int = 128
+    seed: Optional[int] = None
+    scaled_nodes: int = DEFAULT_SCALED_NODES
+    pipeline_overlap: bool = True
+
+    def resolved_platform(self) -> PlatformFeatures:
+        if isinstance(self.platform, PlatformFeatures):
+            return self.platform
+        return platform_by_name(self.platform)
+
+    def resolved_workload(self) -> WorkloadSpec:
+        spec = self.workload
+        if isinstance(spec, str):
+            spec = workload_by_name(spec)
+        # mirror run_platform's scaling rule
+        if spec.num_nodes > self.scaled_nodes:
+            spec = spec.scaled(self.scaled_nodes)
+        return spec
+
+    def resolved_config(self) -> SSDConfig:
+        return self.ssd_config or ull_ssd()
+
+    def run_params(self, seed: int) -> Dict:
+        return {
+            "batch_size": self.batch_size,
+            "num_batches": self.num_batches,
+            "num_hops": self.num_hops,
+            "fanout": self.fanout,
+            "hidden_dim": self.hidden_dim,
+            "seed": seed,
+            "pipeline_overlap": self.pipeline_overlap,
+        }
+
+
+def _cell_identity(cell: GridCell) -> Dict:
+    """Everything that determines the cell's result, except the seed."""
+    return {
+        "platform": cell.resolved_platform(),
+        "workload": cell.resolved_workload(),
+        "ssd_config": cell.resolved_config(),
+        "run": cell.run_params(seed=0) | {"seed": None},
+    }
+
+
+def derive_cell_seed(base_seed: int, cell: GridCell) -> int:
+    """Deterministic per-cell seed, independent of grid order and jobs.
+
+    The cell's content hash is folded into one ``counter_draw`` keyed
+    draw, so equal cells always get equal seeds and distinct cells get
+    (overwhelmingly likely) distinct ones.
+    """
+    digest = stable_hash(_cell_identity(cell))
+    key = int(digest[:16], 16)
+    return counter_draw(base_seed, key) >> 1  # keep it a positive int64
+
+
+def cell_cache_key(cell: GridCell, seed: int) -> str:
+    """Content-addressed cache key for one (cell, effective seed)."""
+    return stable_hash(
+        {
+            "schema": RESULT_SCHEMA_VERSION,
+            "code_version": __version__,
+            **_cell_identity(cell),
+            "seed": seed,
+        }
+    )
+
+
+# Per-process memo of prepared workload images: building the DirectGraph
+# image dominates tiny-cell cost, and grids reuse few distinct workloads.
+_PREPARED_MEMO: Dict[Tuple[WorkloadSpec, int], PreparedWorkload] = {}
+_PREPARED_MEMO_MAX = 8
+
+
+def _prepared_for(spec: WorkloadSpec, page_size: int) -> PreparedWorkload:
+    key = (spec, page_size)
+    if key not in _PREPARED_MEMO:
+        if len(_PREPARED_MEMO) >= _PREPARED_MEMO_MAX:
+            _PREPARED_MEMO.pop(next(iter(_PREPARED_MEMO)))
+        _PREPARED_MEMO[key] = PreparedWorkload.prepare(spec, page_size=page_size)
+    return _PREPARED_MEMO[key]
+
+
+def _execute_cell(job: Tuple[GridCell, int]) -> Dict:
+    """Worker entry point: simulate one cell, return its payload dict."""
+    cell, seed = job
+    config = cell.resolved_config()
+    prepared = _prepared_for(cell.resolved_workload(), config.flash.page_size)
+    result = run_platform(
+        cell.resolved_platform(),
+        prepared,
+        ssd_config=config,
+        **cell.run_params(seed),
+    )
+    return result_to_payload(result)
+
+
+@dataclass
+class GridOutcome:
+    """Results of one grid run, in cell order, plus cache accounting."""
+
+    results: List[RunResult]
+    keys: List[str]
+    from_cache: List[bool]
+    executed: int = 0
+    cache_hits: int = 0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def by_cell(self, cells: Sequence[GridCell]) -> Dict[GridCell, RunResult]:
+        return dict(zip(cells, self.results))
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_grid(
+    cells: Sequence[GridCell],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    base_seed: int = 0,
+) -> GridOutcome:
+    """Run every cell, in parallel, skipping cells already in ``cache``.
+
+    Returns results in cell order. All results — fresh, parallel, or
+    cached — pass through the same serialized payload form, so they are
+    interchangeable bit for bit.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cells = list(cells)
+    seeds = [
+        cell.seed if cell.seed is not None else derive_cell_seed(base_seed, cell)
+        for cell in cells
+    ]
+    keys = [cell_cache_key(cell, seed) for cell, seed in zip(cells, seeds)]
+
+    payloads: List[Optional[Dict]] = [None] * len(cells)
+    pending: List[int] = []
+    for i, key in enumerate(keys):
+        document = cache.get(key) if cache is not None else None
+        if document is not None:
+            payloads[i] = document["payload"]
+        else:
+            pending.append(i)
+
+    jobs_args = [(cells[i], seeds[i]) for i in pending]
+    if len(jobs_args) > 1 and jobs > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(jobs_args)), mp_context=_pool_context()
+        ) as pool:
+            fresh = list(pool.map(_execute_cell, jobs_args))
+    else:
+        fresh = [_execute_cell(job) for job in jobs_args]
+
+    for i, payload in zip(pending, fresh):
+        payloads[i] = payload
+        if cache is not None:
+            cell = cells[i]
+            cache.put(
+                keys[i],
+                {
+                    "payload": payload,
+                    "meta": {
+                        "platform": cell.resolved_platform().name,
+                        "workload": cell.resolved_workload().name,
+                        "seed": seeds[i],
+                        "code_version": __version__,
+                    },
+                },
+            )
+
+    pending_set = set(pending)
+    return GridOutcome(
+        results=[result_from_payload(p) for p in payloads],
+        keys=keys,
+        from_cache=[i not in pending_set for i in range(len(cells))],
+        executed=len(pending),
+        cache_hits=len(cells) - len(pending),
+    )
+
+
+def load_cached(
+    cells: Sequence[GridCell],
+    cache: ResultCache,
+    *,
+    base_seed: int = 0,
+) -> List[Optional[RunResult]]:
+    """Cache-only lookup: results for cached cells, None for misses.
+
+    Lets analysis/plotting code reload a finished sweep without being
+    able to accidentally trigger hours of simulation.
+    """
+    out: List[Optional[RunResult]] = []
+    for cell in cells:
+        seed = cell.seed if cell.seed is not None else derive_cell_seed(base_seed, cell)
+        document = cache.get(cell_cache_key(cell, seed))
+        out.append(
+            result_from_payload(document["payload"]) if document else None
+        )
+    return out

@@ -1,0 +1,39 @@
+"""Versioned envelope around :meth:`RunResult.to_dict`.
+
+Payloads cross two boundaries — worker process -> parent, and disk cache
+-> later run — so they are normalized through an actual JSON round trip:
+what a warm-cache load sees is bit-identical to what a fresh simulation
+returned, and any accidentally non-serializable instrument fails loudly
+at produce time, not at cache-read time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from ..platforms.result import RunResult
+from .cache import json_default
+
+__all__ = ["RESULT_SCHEMA_VERSION", "result_to_payload", "result_from_payload"]
+
+RESULT_SCHEMA_VERSION = 1
+
+
+def result_to_payload(result: RunResult) -> Dict:
+    """Envelope with schema tag; values are guaranteed plain JSON types."""
+    doc = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "result": result.to_dict(),
+    }
+    return json.loads(json.dumps(doc, default=json_default))
+
+
+def result_from_payload(payload: Dict) -> RunResult:
+    schema = payload.get("schema")
+    if schema != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema {schema!r} "
+            f"(expected {RESULT_SCHEMA_VERSION})"
+        )
+    return RunResult.from_dict(payload["result"])

@@ -7,7 +7,7 @@ from .pipeline import PipelineRunner
 from .query import QueryLatencyResult, measure_query_latency
 from .registry import BG_ORDER, PLATFORMS, platform_by_name, platform_names
 from .result import BatchTiming, RunResult
-from .runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_platform
+from .runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_grid, run_platform
 from .scaleout import P2pLink, ScaleOutResult, run_scaleout
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "RunResult",
     "BatchTiming",
     "run_platform",
+    "run_grid",
     "PreparedWorkload",
     "DEFAULT_SCALED_NODES",
     "run_scaleout",

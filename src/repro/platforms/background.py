@@ -62,6 +62,19 @@ class BackgroundIoStats:
         ordered = sorted(self.latencies_s)
         return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
 
+    def to_dict(self) -> dict:
+        return {
+            "latencies_s": list(self.latencies_s),
+            "deferred_count": self.deferred_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BackgroundIoStats":
+        return cls(
+            latencies_s=[float(v) for v in data["latencies_s"]],
+            deferred_count=int(data["deferred_count"]),
+        )
+
 
 class BackgroundIoInjector:
     """Injects regular reads into a running platform simulation."""

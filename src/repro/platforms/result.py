@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..sim.stats import BusyTracker, HopTimeline, Meter, StageAggregator, active_count_series
@@ -27,6 +27,13 @@ class BatchTiming:
     @property
     def compute_seconds(self) -> float:
         return self.compute_end - self.compute_start
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BatchTiming":
+        return cls(**data)
 
 
 @dataclass
@@ -141,3 +148,59 @@ class RunResult:
             "active_channels": self.mean_active_channels(),
             "hop_overlap": self.hop_timeline.overlap_fraction(),
         }
+
+    # -- lossless serialization (worker transport + result cache) --------------
+
+    def to_dict(self) -> Dict:
+        """Full-fidelity JSON-serializable form; inverse of :meth:`from_dict`.
+
+        Unlike :func:`repro.bench.export.result_to_dict` (a flattened,
+        plot-ready view), this round-trips every instrument so a restored
+        result answers every derived query identically.
+        """
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "batch_size": self.batch_size,
+            "num_batches": self.num_batches,
+            "total_seconds": self.total_seconds,
+            "batches": [b.to_dict() for b in self.batches],
+            "stage_agg": self.stage_agg.to_dict(),
+            "hop_timeline": self.hop_timeline.to_dict(),
+            "meters": self.meters.as_dict(),
+            "die_trackers": [t.to_dict() for t in self.die_trackers],
+            "channel_trackers": [t.to_dict() for t in self.channel_trackers],
+            "firmware_busy_seconds": self.firmware_busy_seconds,
+            "energy_breakdown": dict(self.energy_breakdown),
+            "background_io": (
+                self.background_io.to_dict()
+                if self.background_io is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        background_io = None
+        if data.get("background_io") is not None:
+            from .background import BackgroundIoStats
+
+            background_io = BackgroundIoStats.from_dict(data["background_io"])
+        return cls(
+            platform=data["platform"],
+            workload=data["workload"],
+            batch_size=int(data["batch_size"]),
+            num_batches=int(data["num_batches"]),
+            total_seconds=float(data["total_seconds"]),
+            batches=[BatchTiming.from_dict(b) for b in data["batches"]],
+            stage_agg=StageAggregator.from_dict(data["stage_agg"]),
+            hop_timeline=HopTimeline.from_dict(data["hop_timeline"]),
+            meters=Meter.from_dict(data["meters"]),
+            die_trackers=[BusyTracker.from_dict(t) for t in data["die_trackers"]],
+            channel_trackers=[
+                BusyTracker.from_dict(t) for t in data["channel_trackers"]
+            ],
+            firmware_busy_seconds=float(data["firmware_busy_seconds"]),
+            energy_breakdown=dict(data["energy_breakdown"]),
+            background_io=background_io,
+        )

@@ -35,7 +35,7 @@ from .pipeline import PipelineRunner
 from .registry import platform_by_name
 from .result import RunResult
 
-__all__ = ["PreparedWorkload", "run_platform", "DEFAULT_SCALED_NODES"]
+__all__ = ["PreparedWorkload", "run_platform", "run_grid", "DEFAULT_SCALED_NODES"]
 
 DEFAULT_SCALED_NODES = 4096
 
@@ -179,3 +179,14 @@ def run_platform(
     if injector is not None:
         result.background_io = injector.stats
     return result
+
+
+def run_grid(cells, **kwargs):
+    """Fan a grid of cells across worker processes with result caching.
+
+    Thin forwarding entry point; see :func:`repro.orchestrate.run_grid`
+    (imported lazily — orchestrate builds on this module).
+    """
+    from ..orchestrate import run_grid as _run_grid
+
+    return _run_grid(cells, **kwargs)

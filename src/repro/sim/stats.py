@@ -8,7 +8,7 @@ breakdown), and 19 (energy).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -61,6 +61,19 @@ class BusyTracker:
         if t1 <= t0:
             return 0.0
         return self.busy_time(t0, t1) / (t1 - t0)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot (open busy spans are dropped)."""
+        return {
+            "name": self.name,
+            "intervals": [[s, e] for s, e in self.intervals],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BusyTracker":
+        tracker = cls(name=data.get("name", ""))
+        tracker.intervals = [(float(s), float(e)) for s, e in data["intervals"]]
+        return tracker
 
 
 def active_count_series(
@@ -149,6 +162,15 @@ class StageAggregator:
             return 0.0
         return sum(r.lifetime for r in self.records) / len(self.records)
 
+    def to_dict(self) -> Dict:
+        return {"records": [asdict(r) for r in self.records]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StageAggregator":
+        agg = cls()
+        agg.records = [StageRecord(**rec) for rec in data["records"]]
+        return agg
+
 
 class Meter:
     """Accumulates named scalar quantities (bytes moved, ops executed)."""
@@ -171,6 +193,13 @@ class Meter:
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self.totals)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "Meter":
+        meter = cls()
+        for key, value in data.items():
+            meter.totals[key] = float(value)
+        return meter
 
 
 class HopTimeline:
@@ -211,3 +240,17 @@ class HopTimeline:
             if active >= 2:
                 overlapped += hi - lo
         return overlapped / total
+
+    def to_dict(self) -> Dict:
+        # JSON object keys are strings; hop indices are restored on load
+        return {
+            "start": {str(hop): t for hop, t in self._start.items()},
+            "end": {str(hop): t for hop, t in self._end.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "HopTimeline":
+        timeline = cls()
+        timeline._start = {int(h): float(t) for h, t in data["start"].items()}
+        timeline._end = {int(h): float(t) for h, t in data["end"].items()}
+        return timeline

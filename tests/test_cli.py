@@ -13,6 +13,24 @@ class TestParser:
         assert args.command == "run"
         assert args.platform == "bg2"
         assert args.nodes == 512
+        assert args.jobs == 1 and args.cache is True
+
+    def test_orchestration_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "compare", "amazon", "--jobs", "4", "--no-cache",
+                "--cache-dir", "/tmp/somewhere",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.cache is False
+        assert args.cache_dir == "/tmp/somewhere"
+
+    def test_cache_subcommand_parses(self):
+        args = build_parser().parse_args(["cache", "stats"])
+        assert args.command == "cache" and args.action == "stats"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "nonsense"])
 
     def test_sweep_knob_restricted(self):
         with pytest.raises(SystemExit):
@@ -70,3 +88,30 @@ class TestCommands:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["run", "bg2", "bogus", "--nodes", "512"])
+
+
+class TestOrchestrationCommands:
+    BASE = ["--nodes", "256", "--batch", "8", "--batches", "1"]
+
+    def test_compare_warm_cache_runs_nothing(self, capsys, tmp_path):
+        argv = ["compare", "ogbn", *self.BASE, "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "[8 simulated, 0 from cache]" in cold
+        assert main(argv + ["--jobs", "2"]) == 0
+        warm = capsys.readouterr().out
+        assert "[0 simulated, 8 from cache]" in warm
+        # identical tables, modulo the cache summary line
+        assert cold.rsplit("[", 1)[0] == warm.rsplit("[", 1)[0]
+
+    def test_run_without_cache(self, capsys):
+        assert main(["run", "bg2", "ogbn", *self.BASE, "--no-cache"]) == 0
+        assert "[1 simulated, 0 from cache]" in capsys.readouterr().out
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        main(["run", "bg2", "ogbn", *self.BASE, "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries:   1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out

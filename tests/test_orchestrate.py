@@ -1,0 +1,183 @@
+"""Tests for the parallel orchestration layer and its result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import read_results, result_to_dict, write_results
+from repro.orchestrate import (
+    GridCell,
+    ResultCache,
+    cell_cache_key,
+    derive_cell_seed,
+    load_cached,
+    result_from_payload,
+    result_to_payload,
+    run_grid,
+    stable_hash,
+)
+from repro.platforms import platform_by_name, run_platform
+from repro.ssd import ull_ssd
+from repro.workloads import workload_by_name
+
+TINY = dict(batch_size=8, num_batches=1, scaled_nodes=256)
+
+
+def tiny_cells(platforms=("bg2", "cc"), workloads=("ogbn",), **overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    return [
+        GridCell(platform=p, workload=w, **params)
+        for w in workloads
+        for p in platforms
+    ]
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    spec = workload_by_name("ogbn").scaled(256)
+    return run_platform("bg2", spec, batch_size=8, num_batches=1)
+
+
+class TestStableHash:
+    def test_dict_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_dataclasses_hash_by_value(self):
+        assert stable_hash(ull_ssd()) == stable_hash(ull_ssd())
+        assert stable_hash(ull_ssd()) != stable_hash(
+            ull_ssd().with_flash(num_channels=8)
+        )
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
+
+
+class TestCacheKeys:
+    def test_name_and_object_forms_agree(self):
+        by_name = GridCell(platform="bg2", workload="ogbn", **TINY)
+        by_object = GridCell(
+            platform=platform_by_name("bg2"),
+            workload=workload_by_name("ogbn"),
+            **TINY,
+        )
+        assert cell_cache_key(by_name, 0) == cell_cache_key(by_object, 0)
+
+    def test_seed_and_config_distinguish(self):
+        cell = GridCell(platform="bg2", workload="ogbn", **TINY)
+        assert cell_cache_key(cell, 0) != cell_cache_key(cell, 1)
+        other = GridCell(
+            platform="bg2",
+            workload="ogbn",
+            ssd_config=ull_ssd().with_firmware(num_cores=2),
+            **TINY,
+        )
+        assert cell_cache_key(cell, 0) != cell_cache_key(other, 0)
+
+    def test_derived_seeds_stable_and_distinct(self):
+        a, b = tiny_cells(platforms=("bg2", "cc"))
+        assert derive_cell_seed(0, a) == derive_cell_seed(0, a)
+        assert derive_cell_seed(0, a) != derive_cell_seed(0, b)
+        assert derive_cell_seed(0, a) != derive_cell_seed(1, a)
+
+
+class TestResultSerialization:
+    def test_payload_roundtrip_is_lossless(self, tiny_result):
+        payload = result_to_payload(tiny_result)
+        restored = result_from_payload(payload)
+        assert result_to_payload(restored) == payload
+        # restored results answer every derived query identically
+        assert restored.summary() == tiny_result.summary()
+        assert result_to_dict(restored) == result_to_dict(tiny_result)
+        assert restored.latency_breakdown() == tiny_result.latency_breakdown()
+        assert restored.command_breakdown() == tiny_result.command_breakdown()
+
+    def test_payload_is_plain_json(self, tiny_result):
+        payload = result_to_payload(tiny_result)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_schema_mismatch_rejected(self, tiny_result):
+        payload = result_to_payload(tiny_result)
+        payload["schema"] = 999
+        with pytest.raises(ValueError):
+            result_from_payload(payload)
+
+    def test_write_read_results_roundtrip(self, tiny_result, tmp_path):
+        path = write_results([tiny_result], tmp_path / "results.json")
+        (restored,) = read_results(path)
+        assert restored.to_dict() == tiny_result.to_dict()
+
+
+class TestResultCache:
+    def test_put_get_contains_stats_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("abc") is None
+        cache.put("abc", {"payload": {"x": 1}})
+        assert "abc" in cache
+        assert cache.get("abc") == {"payload": {"x": 1}}
+        stats = cache.stats()
+        assert stats.entries == 1 and stats.total_bytes > 0
+        assert cache.clear() == 1
+        assert cache.get("abc") is None
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("abc", {"payload": {}})
+        cache.path_for("abc").write_text("{truncated")
+        assert cache.get("abc") is None
+
+
+class TestRunGrid:
+    def test_serial_and_parallel_bit_identical(self):
+        """The determinism contract: --jobs N never changes any result."""
+        cells = tiny_cells(platforms=("bg2", "cc"), workloads=("ogbn", "ppi"))
+        serial = run_grid(cells, jobs=1)
+        parallel = run_grid(cells, jobs=4)
+        assert [r.to_dict() for r in serial.results] == [
+            r.to_dict() for r in parallel.results
+        ]
+
+    def test_warm_cache_executes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = tiny_cells()
+        cold = run_grid(cells, jobs=2, cache=cache)
+        assert cold.executed == len(cells) and cold.cache_hits == 0
+        warm = run_grid(cells, jobs=2, cache=cache)
+        assert warm.executed == 0 and warm.cache_hits == len(cells)
+        assert [r.to_dict() for r in warm.results] == [
+            r.to_dict() for r in cold.results
+        ]
+
+    def test_derived_seeds_independent_of_grid_order(self):
+        cells = tiny_cells(platforms=("bg2", "cc"))
+        forward = run_grid(cells, jobs=1)
+        backward = run_grid(list(reversed(cells)), jobs=1)
+        by_key_fwd = dict(zip(forward.keys, (r.to_dict() for r in forward.results)))
+        by_key_bwd = dict(zip(backward.keys, (r.to_dict() for r in backward.results)))
+        assert by_key_fwd == by_key_bwd
+
+    def test_explicit_seed_changes_the_result(self):
+        (with_a,) = run_grid(tiny_cells(platforms=("bg2",), seed=1), jobs=1).results
+        (with_b,) = run_grid(tiny_cells(platforms=("bg2",), seed=2), jobs=1).results
+        assert with_a.to_dict() != with_b.to_dict()
+
+    def test_load_cached_returns_none_for_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, miss = tiny_cells(platforms=("bg2", "cc"))
+        run_grid([hit], jobs=1, cache=cache)
+        loaded = load_cached([hit, miss], cache)
+        assert loaded[0] is not None and loaded[1] is None
+        assert loaded[0].platform == "bg2"
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_grid([], jobs=0)
+
+    def test_platforms_run_grid_entry_point(self):
+        from repro.platforms import run_grid as platform_run_grid
+
+        outcome = platform_run_grid(tiny_cells(platforms=("bg2",)), jobs=1)
+        assert outcome.results[0].platform == "bg2"

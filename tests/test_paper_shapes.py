@@ -1,0 +1,139 @@
+"""Paper-shape regressions: the qualitative claims locked in as tests.
+
+EXPERIMENTS.md records the paper's evaluation claims that this
+reproduction recovers — platform throughput *orderings*, the sampling
+latency win, and the Table IV inflation outlier. These tests pin those
+shapes on tiny scaled workloads so any change that silently breaks a
+qualitative result fails in tier-1 instead of at figure-generation time.
+
+Scale note: 1024-node workloads, batch 16, 2 batches — large enough that
+every geomean ordering from Figure 14 holds with margin, small enough to
+run in tier-1. Assertions follow EXPERIMENTS.md:
+
+* Fig 14: CC < GLIST/SmartSage < BG-1 < BG-DG/BG-SP < BG-DGSP < BG-2;
+* Fig 15: BG-2 samples a mini-batch faster than BG-DGSP;
+* Table IV: all workloads inflate by a few percent except OGBN (~1/3 of
+  every page wasted by the 16-sections-per-page cap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import geomean
+from repro.directgraph import AddressCodec, FormatSpec, build_directgraph
+from repro.orchestrate import GridCell, run_grid
+from repro.workloads import WORKLOADS, workload_names
+
+pytestmark = pytest.mark.slow
+
+PLATFORM_ORDER = ["cc", "glist", "smartsage", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+NODES = 1024
+BATCH = 16
+NBATCH = 2
+
+
+@pytest.fixture(scope="module")
+def fig14_runs():
+    """All platforms x all workloads at regression scale, one grid."""
+    workloads = workload_names()
+    cells = [
+        GridCell(
+            platform=p,
+            workload=w,
+            batch_size=BATCH,
+            num_batches=NBATCH,
+            scaled_nodes=NODES,
+            seed=0,
+        )
+        for w in workloads
+        for p in PLATFORM_ORDER
+    ]
+    results = iter(run_grid(cells, jobs=1).results)
+    return {w: {p: next(results) for p in PLATFORM_ORDER} for w in workloads}
+
+
+@pytest.fixture(scope="module")
+def fig14_geomeans(fig14_runs):
+    normalized = {}
+    for workload, runs in fig14_runs.items():
+        base = runs["cc"].throughput_targets_per_sec
+        normalized[workload] = {
+            p: runs[p].throughput_targets_per_sec / base for p in PLATFORM_ORDER
+        }
+    return {
+        p: geomean([normalized[w][p] for w in normalized]) for p in PLATFORM_ORDER
+    }
+
+
+class TestFig14ThroughputOrdering:
+    def test_baselines_beat_cc(self, fig14_geomeans):
+        assert fig14_geomeans["glist"] > 1.0
+        assert fig14_geomeans["smartsage"] > 1.0
+
+    def test_bg1_beats_prior_work(self, fig14_geomeans):
+        assert fig14_geomeans["bg1"] > fig14_geomeans["smartsage"]
+        assert fig14_geomeans["bg1"] > fig14_geomeans["glist"]
+
+    def test_directgraph_and_sampling_each_beat_bg1(self, fig14_geomeans):
+        assert fig14_geomeans["bg_dg"] > fig14_geomeans["bg1"]
+        assert fig14_geomeans["bg_sp"] > fig14_geomeans["bg1"]
+
+    def test_combined_beats_either_alone(self, fig14_geomeans):
+        assert fig14_geomeans["bg_dgsp"] > fig14_geomeans["bg_dg"]
+        assert fig14_geomeans["bg_dgsp"] > fig14_geomeans["bg_sp"]
+
+    def test_bg2_is_the_top_platform(self, fig14_geomeans):
+        assert fig14_geomeans["bg2"] > fig14_geomeans["bg_dgsp"]
+        assert fig14_geomeans["bg2"] == max(fig14_geomeans.values())
+
+    def test_speedup_factors_in_paper_band(self, fig14_geomeans):
+        # the paper reports ~21.7x at full scale; at 1024 nodes our BG-2
+        # geomean sits near 9-10x — well clear of both 1x and absurdity
+        assert 4.0 < fig14_geomeans["bg2"] < 40.0
+
+
+class TestFig15SamplingLatency:
+    def test_bg2_preps_faster_than_bg_dgsp(self, fig14_runs):
+        """Figure 15: channel-level routing cuts sampling (prep) latency."""
+        # amazon is the figure's workload; the geomean guards the rest
+        amazon = fig14_runs["amazon"]
+        assert (
+            amazon["bg2"].mean_prep_seconds < amazon["bg_dgsp"].mean_prep_seconds
+        )
+        ratio = geomean(
+            [
+                runs["bg2"].mean_prep_seconds / runs["bg_dgsp"].mean_prep_seconds
+                for runs in fig14_runs.values()
+            ]
+        )
+        assert ratio < 1.0
+
+
+class TestTableIVInflation:
+    @pytest.fixture(scope="class")
+    def inflation(self):
+        out = {}
+        for name, spec in WORKLOADS.items():
+            graph = spec.scaled(2000).build_graph()
+            fmt = FormatSpec(
+                page_size=4096,
+                feature_dim=spec.feature_dim,
+                codec=AddressCodec.for_geometry(1 << 40, 4096),
+            )
+            image = build_directgraph(graph, None, fmt, serialize=False)
+            raw = graph.num_nodes * spec.feature_bytes + graph.num_edges * 4
+            out[name] = 100 * image.stats.inflation_vs_raw(raw)
+        return out
+
+    def test_ogbn_is_the_worst_by_far(self, inflation):
+        others = {w: v for w, v in inflation.items() if w != "ogbn"}
+        assert inflation["ogbn"] > max(others.values()) * 2
+
+    def test_ogbn_wastes_about_a_third(self, inflation):
+        assert 20.0 < inflation["ogbn"] < 45.0
+
+    def test_everything_else_inflates_single_digits(self, inflation):
+        for workload, value in inflation.items():
+            if workload != "ogbn":
+                assert value < 10.0, f"{workload} inflated {value:.1f}%"

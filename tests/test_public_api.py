@@ -45,6 +45,7 @@ class TestSubpackageAll:
             "repro.platforms",
             "repro.energy",
             "repro.bench",
+            "repro.orchestrate",
         ],
     )
     def test_all_names_resolve(self, module_name):
