@@ -1,0 +1,71 @@
+"""Kernel hot-path microbenchmarks — the numbers behind BENCH_kernel.json.
+
+Four workloads stress the scheduler's distinct paths (zero-delay event
+churn, heap-ordered timeout storms, AllOf/AnyOf fan-in, process
+spawn/join) plus a miniature all-platform fig14 run, via the same
+:func:`repro.perf.run_suite` that backs the ``repro perf`` CLI.
+
+If the repo-root ``BENCH_kernel.json`` baseline exists, the run is also
+gated against it (>30% ops/sec regression fails), mirroring the CI
+perf-smoke job.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_KERNEL_SCALE``  — op-count multiplier (default 1.0)
+* ``REPRO_BENCH_KERNEL_REPEAT`` — best-of repeats (default 3)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.perf import check_against_baseline, format_report, load_report, run_suite
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def test_kernel_microbench(benchmark):
+    scale = float(os.environ.get("REPRO_BENCH_KERNEL_SCALE", "1.0"))
+    repeats = int(os.environ.get("REPRO_BENCH_KERNEL_REPEAT", "3"))
+
+    report = benchmark.pedantic(
+        lambda: run_suite(scale=scale, repeats=repeats),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    baseline = load_report(BASELINE) if BASELINE.is_file() else None
+    for name, row in report["results"].items():
+        rate = (
+            f"{row['value']:,.0f} op/s"
+            if row["metric"] == "ops_per_sec"
+            else f"{row['value']:.2f} s"
+        )
+        base = ""
+        if baseline is not None:
+            entry = baseline.get("benchmarks", {}).get(name)
+            if entry and "speedup" in entry:
+                base = f"{entry['speedup']:.2f}x"
+        rows.append((name, f"{row['ops']:,d}", rate, base))
+    print()
+    print(
+        format_table(
+            ["benchmark", "kernel ops", "measured", "committed speedup"],
+            rows,
+            title="kernel hot-path microbenchmarks",
+        )
+    )
+
+    for row in report["results"].values():
+        assert row["ops"] > 0 and row["seconds"] > 0
+
+    if baseline is not None:
+        failures = check_against_baseline(report, baseline, max_regress=0.30)
+        assert not failures, "\n".join(failures)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_report(run_suite()))

@@ -7,7 +7,8 @@ Subcommands
 ``sweep``    sweep one architecture knob (a Figure 18 slice)
 ``inflate``  DirectGraph storage-inflation report (Table IV)
 ``info``     print the Table II configuration and platform list
-``cache``    result-cache maintenance (``stats`` / ``clear``)
+``cache``    result-cache maintenance (``stats`` / ``clear`` / ``prune``)
+``perf``     kernel microbenchmark suite (the numbers in BENCH_kernel.json)
 
 ``run``/``compare``/``sweep`` all go through :func:`repro.orchestrate.run_grid`:
 ``--jobs N`` fans the grid across N worker processes, and the
@@ -67,8 +68,53 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="configuration + platform list")
 
     cache = sub.add_parser("cache", help="result-cache maintenance")
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("action", choices=["stats", "clear", "prune"])
     cache.add_argument("--cache-dir", default=None)
+    cache.add_argument(
+        "--keep-days",
+        type=float,
+        default=None,
+        help="prune: drop entries older than this many days",
+    )
+    cache.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="prune: evict oldest entries until the cache fits in this size",
+    )
+
+    perf = sub.add_parser("perf", help="kernel microbenchmark suite")
+    perf.add_argument(
+        "--scale", type=float, default=1.0, help="op-count multiplier"
+    )
+    perf.add_argument(
+        "--repeat", type=int, default=3, help="timing repeats (best-of)"
+    )
+    perf.add_argument(
+        "--out", default=None, help="write the report JSON to this path"
+    )
+    perf.add_argument(
+        "--baseline",
+        default=None,
+        help="prior raw report: emit the merged before/after document",
+    )
+    perf.add_argument(
+        "--check",
+        default=None,
+        help="baseline JSON to gate against (exit 1 on regression)",
+    )
+    perf.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown for --check (default 0.30)",
+    )
+    perf.add_argument(
+        "--end-to-end",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="include the all-platform fig14_small benchmark",
+    )
     return parser
 
 
@@ -227,11 +273,56 @@ def cmd_cache(args) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
+    elif args.action == "prune":
+        if args.keep_days is None and args.max_mb is None:
+            print("cache prune needs --keep-days and/or --max-mb")
+            return 2
+        removed = cache.prune(keep_days=args.keep_days, max_mb=args.max_mb)
+        stats = cache.stats()
+        print(
+            f"pruned {removed} entries from {cache.root} "
+            f"({stats.entries} left, {stats.total_mb:.2f} MB)"
+        )
     else:
         stats = cache.stats()
         print(f"cache dir: {cache.root}")
         print(f"entries:   {stats.entries}")
         print(f"size:      {stats.total_mb:.2f} MB")
+    return 0
+
+
+def cmd_perf(args) -> int:
+    from .perf import (
+        check_against_baseline,
+        format_report,
+        load_report,
+        merge_before_after,
+        run_suite,
+        write_report,
+    )
+
+    report = run_suite(
+        scale=args.scale, repeats=args.repeat, end_to_end=args.end_to_end
+    )
+    print(format_report(report))
+    out_doc = report
+    if args.baseline:
+        out_doc = merge_before_after(load_report(args.baseline), report)
+        for name, row in out_doc["benchmarks"].items():
+            if "speedup" in row:
+                print(f"  {name:14s} speedup {row['speedup']:.2f}x")
+    if args.out:
+        path = write_report(out_doc, args.out)
+        print(f"wrote {path}")
+    if args.check:
+        failures = check_against_baseline(
+            report, load_report(args.check), max_regress=args.max_regress
+        )
+        if failures:
+            for line in failures:
+                print(f"REGRESSION {line}")
+            return 1
+        print(f"no regression vs {args.check} (max {args.max_regress:.0%})")
     return 0
 
 
@@ -295,6 +386,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inflate": cmd_inflate,
         "info": cmd_info,
         "cache": cmd_cache,
+        "perf": cmd_perf,
     }
     return handlers[args.command](args)
 

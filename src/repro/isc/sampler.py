@@ -79,7 +79,7 @@ class SamplerFault(RuntimeError):
     to firmware."""
 
 
-@dataclass
+@dataclass(slots=True)
 class SampleResult:
     """Everything one sampling command produces."""
 

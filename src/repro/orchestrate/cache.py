@@ -20,6 +20,7 @@ import hashlib
 import json
 import numbers
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -139,3 +140,59 @@ class ResultCache:
             entries=len(entries),
             total_bytes=sum(p.stat().st_size for p in entries),
         )
+
+    def prune(
+        self,
+        keep_days: Optional[float] = None,
+        max_mb: Optional[float] = None,
+        _now: Optional[float] = None,
+    ) -> int:
+        """Evict stale entries; returns how many were removed.
+
+        Two independent policies, applied in order:
+
+        * ``keep_days`` — drop entries whose mtime is older than this
+          many days (mtime is the write time: age means time since the
+          entry was last simulated-and-stored).
+        * ``max_mb`` — after the age pass, evict oldest-first (LRU by
+          mtime) until the directory fits in ``max_mb`` megabytes.
+
+        Entries that vanish mid-scan (a concurrent run pruning the same
+        directory) are skipped, not errors.
+        """
+        if keep_days is None and max_mb is None:
+            raise ValueError("prune needs keep_days and/or max_mb")
+        if keep_days is not None and keep_days < 0:
+            raise ValueError("keep_days must be >= 0")
+        if max_mb is not None and max_mb < 0:
+            raise ValueError("max_mb must be >= 0")
+        now = time.time() if _now is None else _now
+        entries = []  # (mtime, size, path), oldest first
+        for path in self.root.glob("*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        entries.sort()
+        removed = 0
+        if keep_days is not None:
+            cutoff = now - keep_days * 86400.0
+            keep = []
+            for mtime, size, path in entries:
+                if mtime < cutoff:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                else:
+                    keep.append((mtime, size, path))
+            entries = keep
+        if max_mb is not None:
+            budget = max_mb * 1e6
+            total = sum(size for _mtime, size, _path in entries)
+            for _mtime, size, path in entries:
+                if total <= budget:
+                    break
+                path.unlink(missing_ok=True)
+                total -= size
+                removed += 1
+        return removed

@@ -1,0 +1,34 @@
+"""Kernel performance measurement: opt-in probes and microbenchmarks.
+
+The discrete-event kernel is the ceiling on simulation scale, so this
+package gives it a trajectory: :class:`KernelProbe` counts kernel
+operations on one ``Simulator`` instance (opt-in — an unprobed simulator
+runs the unmodified hot path at zero extra cost), and
+:mod:`repro.perf.microbench` is the suite behind ``repro perf`` and the
+checked-in ``BENCH_kernel.json``.
+"""
+
+from .probe import KernelCounters, KernelProbe
+from .microbench import (
+    BENCH_SCHEMA_VERSION,
+    MICROBENCHES,
+    check_against_baseline,
+    format_report,
+    load_report,
+    merge_before_after,
+    run_suite,
+    write_report,
+)
+
+__all__ = [
+    "KernelCounters",
+    "KernelProbe",
+    "BENCH_SCHEMA_VERSION",
+    "MICROBENCHES",
+    "run_suite",
+    "format_report",
+    "write_report",
+    "load_report",
+    "merge_before_after",
+    "check_against_baseline",
+]

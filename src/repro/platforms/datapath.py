@@ -49,7 +49,7 @@ __all__ = ["PrepCommand", "DataPrepEngine"]
 NODE_ID_BYTES = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class PrepCommand:
     """One unit of data-preparation work on the flash backend."""
 
@@ -61,7 +61,7 @@ class PrepCommand:
     payload_kind: str = "sample"  # "sample" | "feature" | "structure"
 
 
-@dataclass
+@dataclass(slots=True)
 class _BatchCtx:
     """Bookkeeping for one in-flight mini-batch preparation."""
 

@@ -29,6 +29,8 @@ class Resource:
         resource.release()
     """
 
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiting", "tracker")
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -88,6 +90,17 @@ class BandwidthPipe:
     BeaconGNN model.
     """
 
+    __slots__ = (
+        "sim",
+        "bytes_per_sec",
+        "per_transfer_overhead",
+        "name",
+        "_available_at",
+        "tracker",
+        "bytes_moved",
+        "transfer_count",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -128,6 +141,8 @@ class BandwidthPipe:
 
 class Store:
     """An unbounded FIFO queue connecting producer and consumer processes."""
+
+    __slots__ = ("sim", "name", "_items", "_getters")
 
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim

@@ -24,6 +24,8 @@ __all__ = [
 class BusyTracker:
     """Records (start, end) busy intervals for one hardware unit."""
 
+    __slots__ = ("name", "intervals", "_busy_since")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.intervals: List[Tuple[float, float]] = []
@@ -109,7 +111,7 @@ def active_count_series(
     return centers, [v / width for v in busy]
 
 
-@dataclass
+@dataclass(slots=True)
 class StageRecord:
     """Per-command lifetime timestamps (Figure 17).
 
@@ -140,6 +142,8 @@ class StageRecord:
 
 class StageAggregator:
     """Collects StageRecords and averages their breakdowns."""
+
+    __slots__ = ("records",)
 
     def __init__(self) -> None:
         self.records: List[StageRecord] = []
@@ -175,6 +179,8 @@ class StageAggregator:
 class Meter:
     """Accumulates named scalar quantities (bytes moved, ops executed)."""
 
+    __slots__ = ("totals",)
+
     def __init__(self) -> None:
         self.totals: Dict[str, float] = defaultdict(float)
 
@@ -204,6 +210,8 @@ class Meter:
 
 class HopTimeline:
     """First-activity / last-completion times per sampling hop (Figure 16)."""
+
+    __slots__ = ("_start", "_end")
 
     def __init__(self) -> None:
         self._start: Dict[int, float] = {}

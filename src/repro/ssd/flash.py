@@ -31,7 +31,7 @@ from .config import FlashConfig
 __all__ = ["DieExecution", "FlashJob", "FlashDieModel", "FlashBackend"]
 
 
-@dataclass
+@dataclass(slots=True)
 class DieExecution:
     """What happens on-die after the raw page read."""
 
@@ -45,7 +45,7 @@ class DieExecution:
 Executor = Callable[["FlashJob"], DieExecution]
 
 
-@dataclass
+@dataclass(slots=True)
 class FlashJob:
     """One page read (+ optional on-die sampling) on a specific die."""
 

@@ -103,6 +103,8 @@ def test_benchmark_files_discovered():
 def test_benchmark_smoke(bench_file, smoke_fixtures, capsys, monkeypatch):
     # benchmarks that scale via env read it at import time; shrink before load
     monkeypatch.setenv("REPRO_BENCH_INFLATION_NODES", "5000")
+    monkeypatch.setenv("REPRO_BENCH_KERNEL_SCALE", "0.02")
+    monkeypatch.setenv("REPRO_BENCH_KERNEL_REPEAT", "1")
     module = _load_module(bench_file)
     entry_points = [
         (name, fn)

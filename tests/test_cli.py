@@ -32,6 +32,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "nonsense"])
 
+    def test_cache_prune_flags_parse(self):
+        args = build_parser().parse_args(
+            ["cache", "prune", "--keep-days", "7", "--max-mb", "100"]
+        )
+        assert args.action == "prune"
+        assert args.keep_days == 7.0 and args.max_mb == 100.0
+
+    def test_perf_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["perf", "--scale", "0.5", "--repeat", "2", "--no-end-to-end",
+             "--check", "BENCH_kernel.json", "--max-regress", "0.25"]
+        )
+        assert args.command == "perf"
+        assert args.scale == 0.5 and args.repeat == 2
+        assert args.end_to_end is False
+        assert args.check == "BENCH_kernel.json"
+        assert args.max_regress == 0.25
+
     def test_sweep_knob_restricted(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "nonsense"])
@@ -115,3 +133,35 @@ class TestOrchestrationCommands:
         assert "entries:   1" in capsys.readouterr().out
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert "removed 1" in capsys.readouterr().out
+
+    def test_cache_prune_cli(self, capsys, tmp_path):
+        main(["run", "bg2", "ogbn", *self.BASE, "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        # everything is brand new: age-based prune removes nothing
+        assert main(
+            ["cache", "prune", "--cache-dir", str(tmp_path), "--keep-days", "30"]
+        ) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+        # zero size budget evicts the lot
+        assert main(
+            ["cache", "prune", "--cache-dir", str(tmp_path), "--max-mb", "0"]
+        ) == 0
+        assert "pruned 1 entries" in capsys.readouterr().out
+
+    def test_cache_prune_requires_policy(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--keep-days" in capsys.readouterr().out
+
+    def test_perf_writes_report_and_gates(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        argv = [
+            "perf", "--scale", "0.01", "--repeat", "1", "--no-end-to-end",
+            "--out", str(out),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # a fresh run never regresses >99.9% against its own numbers
+        assert main(
+            argv[:-2] + ["--check", str(out), "--max-regress", "0.999"]
+        ) == 0
+        assert "no regression" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Kernel bit-identity: every platform's RunResult is byte-stable.
+
+The hot-path kernel (fast lane, direct-callable entries, object
+recycling) promises *bit-identical* simulations to the original
+single-heap kernel. This test pins that promise: each registered
+platform's canonical serialized ``RunResult`` must hash to the digest
+captured from the original kernel (``tests/data/golden_runresult_sha256``
+``.json``, regenerated only via ``tests/tools/capture_golden.py`` after
+an intentional semantic change).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from tools.capture_golden import (  # noqa: E402
+    FIXTURE,
+    GOLDEN_PARAMS,
+    GOLDEN_WORKLOAD,
+    payload_digest,
+)
+
+from repro.platforms import PLATFORMS, PreparedWorkload  # noqa: E402
+from repro.workloads import workload_by_name  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    spec = workload_by_name(GOLDEN_WORKLOAD).scaled(GOLDEN_PARAMS["scaled_nodes"])
+    return PreparedWorkload.prepare(spec)
+
+
+def test_fixture_covers_every_platform(golden):
+    assert sorted(golden) == sorted(PLATFORMS)
+
+
+@pytest.mark.parametrize("platform", sorted(PLATFORMS))
+def test_payload_bit_identical_to_seed_kernel(platform, prepared, golden):
+    assert payload_digest(platform, prepared) == golden[platform], (
+        f"{platform}: RunResult payload diverged from the original kernel — "
+        "an event-ordering or accounting change leaked into results"
+    )

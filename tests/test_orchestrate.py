@@ -129,6 +129,54 @@ class TestResultCache:
         cache.path_for("abc").write_text("{truncated")
         assert cache.get("abc") is None
 
+    def test_prune_by_age(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        cache.put("old", {"payload": {}})
+        cache.put("new", {"payload": {}})
+        now = 1_000_000.0
+        os.utime(cache.path_for("old"), times=(now - 10 * 86400, now - 10 * 86400))
+        os.utime(cache.path_for("new"), times=(now - 86400, now - 86400))
+        assert cache.prune(keep_days=7, _now=now) == 1
+        assert "old" not in cache and "new" in cache
+
+    def test_prune_by_size_evicts_oldest_first(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        blob = {"payload": {"pad": "x" * 4000}}  # ~4 KB per entry
+        for i in range(5):
+            cache.put(f"k{i}", blob)
+            path = cache.path_for(f"k{i}")
+            os.utime(path, times=(1000.0 + i, 1000.0 + i))
+        removed = cache.prune(max_mb=0.01, _now=2000.0)  # 10 KB budget
+        assert removed == 3
+        assert "k0" not in cache and "k1" not in cache and "k2" not in cache
+        assert "k3" in cache and "k4" in cache
+
+    def test_prune_size_zero_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", {"payload": {}})
+        cache.put("b", {"payload": {}})
+        assert cache.prune(max_mb=0) == 2
+        assert cache.stats().entries == 0
+
+    def test_prune_requires_a_policy(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.prune()
+        with pytest.raises(ValueError):
+            cache.prune(keep_days=-1)
+        with pytest.raises(ValueError):
+            cache.prune(max_mb=-1)
+
+    def test_prune_noop_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", {"payload": {}})
+        assert cache.prune(keep_days=365, max_mb=100) == 0
+        assert "a" in cache
+
 
 class TestRunGrid:
     def test_serial_and_parallel_bit_identical(self):
