@@ -14,20 +14,39 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_JOBS``      — worker processes per grid (default 1)
 * ``REPRO_BENCH_CACHE_DIR`` — persistent result cache (default: per-session
   temporary directory, so benchmark runs stay self-contained)
+
+Render-only mode: ``pytest benchmarks/ --from-cache`` (or
+``REPRO_BENCH_FROM_CACHE=1``) serves every grid purely from the result
+cache — zero simulations, zero image builds — and fails fast with the
+missing cells listed if the cache was not populated by a prior run at
+the same scale knobs. DirectGraph images are shared through the
+content-addressed image cache under ``<cache-dir>/images``, so the five
+workloads are built once per cache lifetime, not once per figure.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Tuple
 
 import pytest
 
-from repro.orchestrate import GridCell, ResultCache, run_grid
+from repro.directgraph import ImageCache
+from repro.orchestrate import GridCell, ResultCache, outcome_from_cache, run_grid
 from repro.platforms import PreparedWorkload
 from repro.ssd import SSDConfig
 from repro.workloads import workload_by_name
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--from-cache",
+        action="store_true",
+        default=False,
+        help="render benchmarks purely from cached results; error on any miss",
+    )
 
 
 @dataclass(frozen=True)
@@ -49,25 +68,39 @@ def bench_env() -> BenchEnv:
 
 
 @pytest.fixture(scope="session")
-def prepared_cache(bench_env):
+def grid_cache(tmp_path_factory) -> ResultCache:
+    root = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if not root:
+        root = tmp_path_factory.mktemp("result-cache")
+    return ResultCache(root)
+
+
+@pytest.fixture(scope="session")
+def image_cache(grid_cache) -> ImageCache:
+    return ImageCache(Path(grid_cache.root) / "images")
+
+
+@pytest.fixture(scope="session")
+def bench_from_cache(request) -> bool:
+    if request.config.getoption("--from-cache"):
+        return True
+    return os.environ.get("REPRO_BENCH_FROM_CACHE", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def prepared_cache(bench_env, image_cache):
     cache: Dict[Tuple[str, int], PreparedWorkload] = {}
 
     def get(workload: str, page_size: int = 4096) -> PreparedWorkload:
         key = (workload, page_size)
         if key not in cache:
             spec = workload_by_name(workload).scaled(bench_env.nodes)
-            cache[key] = PreparedWorkload.prepare(spec, page_size=page_size)
+            cache[key] = PreparedWorkload.prepare(
+                spec, page_size=page_size, image_cache=image_cache
+            )
         return cache[key]
 
     return get
-
-
-@pytest.fixture(scope="session")
-def grid_cache(tmp_path_factory) -> ResultCache:
-    root = os.environ.get("REPRO_BENCH_CACHE_DIR")
-    if not root:
-        root = tmp_path_factory.mktemp("result-cache")
-    return ResultCache(root)
 
 
 @pytest.fixture(scope="session")
@@ -95,9 +128,13 @@ def make_cell(bench_env):
 
 
 @pytest.fixture(scope="session")
-def grid_runner(bench_env, grid_cache):
+def grid_runner(bench_env, grid_cache, image_cache, bench_from_cache):
     def run(cells):
-        return run_grid(cells, jobs=bench_env.jobs, cache=grid_cache)
+        if bench_from_cache:
+            return outcome_from_cache(cells, grid_cache)
+        return run_grid(
+            cells, jobs=bench_env.jobs, cache=grid_cache, image_cache=image_cache
+        )
 
     return run
 

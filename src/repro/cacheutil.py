@@ -1,0 +1,172 @@
+"""Shared primitives for the on-disk content-addressed caches.
+
+Both cache layers — the :class:`repro.orchestrate.cache.ResultCache`
+(simulated ``RunResult`` documents) and the
+:class:`repro.directgraph.imagecache.ImageCache` (serialized
+``DirectGraphImage`` + graph arrays) — share the same foundations: a
+stable value hash for key derivation, one default cache root, directory
+stats, and an age/size LRU-by-mtime eviction policy. They live here, in
+a dependency-free module, so the directgraph layer can use them without
+importing the orchestration package (which itself imports the platforms
+that build on directgraph).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import numbers
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+__all__ = [
+    "json_default",
+    "stable_hash",
+    "default_cache_dir",
+    "CacheStats",
+    "dir_stats",
+    "clear_dir",
+    "prune_dir",
+]
+
+
+def json_default(obj):
+    """Coerce numpy scalars (and other number-likes) for ``json.dumps``."""
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _canonicalize(obj):
+    """Reduce configs/specs to plain JSON values with deterministic shape."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(v) for v in obj]
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    raise TypeError(f"cannot hash {type(obj).__name__} into a cache key")
+
+
+def stable_hash(obj) -> str:
+    """Hex digest that depends only on the *values* in ``obj``.
+
+    Dataclasses (SSDConfig, PlatformFeatures, WorkloadSpec, ...) hash by
+    field values, dicts by sorted key, so logically-equal inputs built in
+    different ways produce identical keys.
+    """
+    encoded = json.dumps(
+        _canonicalize(obj), sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(encoded).hexdigest()[:40]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of what a cache directory holds."""
+
+    entries: int
+    total_bytes: int
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / 1e6
+
+
+def dir_stats(root: Path, pattern: str) -> CacheStats:
+    """Entry count and byte total for ``pattern`` files directly in ``root``."""
+    entries = list(root.glob(pattern))
+    return CacheStats(
+        entries=len(entries),
+        total_bytes=sum(p.stat().st_size for p in entries),
+    )
+
+
+def clear_dir(root: Path, pattern: str) -> int:
+    """Delete every entry matching ``pattern``; returns how many were removed."""
+    removed = 0
+    for path in root.glob(pattern):
+        path.unlink(missing_ok=True)
+        removed += 1
+    return removed
+
+
+def prune_dir(
+    root: Path,
+    pattern: str,
+    keep_days: Optional[float] = None,
+    max_mb: Optional[float] = None,
+    _now: Optional[float] = None,
+) -> int:
+    """Evict stale cache entries; returns how many were removed.
+
+    Two independent policies, applied in order:
+
+    * ``keep_days`` — drop entries whose mtime is older than this many
+      days (mtime is the write time: age means time since the entry was
+      last built-and-stored).
+    * ``max_mb`` — after the age pass, evict oldest-first (LRU by mtime)
+      until the directory fits in ``max_mb`` megabytes.
+
+    Entries that vanish mid-scan (a concurrent run pruning the same
+    directory) are skipped, not errors.
+    """
+    if keep_days is None and max_mb is None:
+        raise ValueError("prune needs keep_days and/or max_mb")
+    if keep_days is not None and keep_days < 0:
+        raise ValueError("keep_days must be >= 0")
+    if max_mb is not None and max_mb < 0:
+        raise ValueError("max_mb must be >= 0")
+    now = time.time() if _now is None else _now
+    entries = []  # (mtime, size, path), oldest first
+    for path in root.glob(pattern):
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        entries.append((st.st_mtime, st.st_size, path))
+    entries.sort()
+    removed = 0
+    if keep_days is not None:
+        cutoff = now - keep_days * 86400.0
+        keep = []
+        for mtime, size, path in entries:
+            if mtime < cutoff:
+                path.unlink(missing_ok=True)
+                removed += 1
+            else:
+                keep.append((mtime, size, path))
+        entries = keep
+    if max_mb is not None:
+        budget = max_mb * 1e6
+        total = sum(size for _mtime, size, _path in entries)
+        for _mtime, size, path in entries:
+            if total <= budget:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            removed += 1
+    return removed

@@ -7,14 +7,18 @@ Subcommands
 ``sweep``    sweep one architecture knob (a Figure 18 slice)
 ``inflate``  DirectGraph storage-inflation report (Table IV)
 ``info``     print the Table II configuration and platform list
-``cache``    result-cache maintenance (``stats`` / ``clear`` / ``prune``)
-``perf``     kernel microbenchmark suite (the numbers in BENCH_kernel.json)
+``cache``    result/image-cache maintenance (``stats`` / ``clear`` / ``prune``)
+``perf``     microbenchmark suites (BENCH_kernel.json / BENCH_prepare.json)
 
 ``run``/``compare``/``sweep`` all go through :func:`repro.orchestrate.run_grid`:
 ``--jobs N`` fans the grid across N worker processes, and the
 content-addressed result cache (``--cache-dir``, default ``~/.cache/repro``)
 makes repeated invocations skip already-simulated cells; ``--no-cache``
-opts out. Parallel and cached runs are bit-identical to serial cold runs.
+opts out. Serialized DirectGraph images are shared through a second
+content-addressed cache (``--image-cache-dir``, default
+``<cache-dir>/images``; ``--no-image-cache`` opts out), so each distinct
+workload is built at most once across grids. Parallel and cached runs
+are bit-identical to serial cold runs.
 """
 
 from __future__ import annotations
@@ -67,9 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="configuration + platform list")
 
-    cache = sub.add_parser("cache", help="result-cache maintenance")
+    cache = sub.add_parser("cache", help="result/image-cache maintenance")
     cache.add_argument("action", choices=["stats", "clear", "prune"])
     cache.add_argument("--cache-dir", default=None)
+    cache.add_argument(
+        "--image-cache-dir",
+        default=None,
+        help="DirectGraph image cache (default <cache-dir>/images)",
+    )
     cache.add_argument(
         "--keep-days",
         type=float,
@@ -80,15 +89,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-mb",
         type=float,
         default=None,
-        help="prune: evict oldest entries until the cache fits in this size",
+        help="prune: evict oldest entries until each cache fits in this size",
     )
 
-    perf = sub.add_parser("perf", help="kernel microbenchmark suite")
+    perf = sub.add_parser("perf", help="microbenchmark suites")
     perf.add_argument(
-        "--scale", type=float, default=1.0, help="op-count multiplier"
+        "--suite",
+        choices=["kernel", "prepare", "all"],
+        default="kernel",
+        help="kernel hot-path ops, workload-prepare pipeline, or both",
+    )
+    perf.add_argument(
+        "--scale", type=float, default=1.0, help="kernel op-count multiplier"
     )
     perf.add_argument(
         "--repeat", type=int, default=3, help="timing repeats (best-of)"
+    )
+    perf.add_argument(
+        "--prepare-nodes",
+        type=int,
+        default=4096,
+        help="prepare suite: scaled node count (rate is nodes/sec)",
+    )
+    perf.add_argument(
+        "--prepare-workload",
+        default="amazon",
+        help="prepare suite: workload to prepare",
+    )
+    perf.add_argument(
+        "--prepare-impl",
+        choices=["current", "reference"],
+        default="current",
+        help="prepare suite: vectorized builder or per-node reference",
     )
     perf.add_argument(
         "--out", default=None, help="write the report JSON to this path"
@@ -140,6 +172,18 @@ def _common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, help="cache directory (default ~/.cache/repro)"
     )
+    parser.add_argument(
+        "--image-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share serialized DirectGraph images across runs",
+    )
+    parser.add_argument(
+        "--image-cache-dir",
+        default=None,
+        help="image cache directory (default <cache-dir>/images; "
+        "requires --cache unless set explicitly)",
+    )
 
 
 def _config(args) -> object:
@@ -150,6 +194,14 @@ def _result_cache(args) -> Optional[ResultCache]:
     if not getattr(args, "cache", False):
         return None
     return ResultCache(args.cache_dir)
+
+
+def _image_cache(args):
+    """Map the CLI flags onto ``run_grid``'s ``image_cache`` parameter."""
+    if not getattr(args, "image_cache", True):
+        return False
+    # None lets run_grid derive <result-cache>/images (off when uncached).
+    return getattr(args, "image_cache_dir", None)
 
 
 def _cell(args, platform: str, workload: str, ssd_config=None, **overrides) -> GridCell:
@@ -171,12 +223,23 @@ def _cell(args, platform: str, workload: str, ssd_config=None, **overrides) -> G
 
 
 def _grid_summary(outcome) -> str:
-    return f"[{outcome.executed} simulated, {outcome.cache_hits} from cache]"
+    summary = f"[{outcome.executed} simulated, {outcome.cache_hits} from cache]"
+    if outcome.images_built or outcome.image_hits:
+        summary += (
+            f" [images: {outcome.images_built} built,"
+            f" {outcome.image_hits} reused]"
+        )
+    return summary
 
 
 def cmd_run(args) -> int:
     cell = _cell(args, platform_by_name(args.platform).name, args.workload)
-    outcome = run_grid([cell], jobs=args.jobs, cache=_result_cache(args))
+    outcome = run_grid(
+        [cell],
+        jobs=args.jobs,
+        cache=_result_cache(args),
+        image_cache=_image_cache(args),
+    )
     result = outcome.results[0]
     rows = [
         ("throughput (targets/s)", f"{result.throughput_targets_per_sec:,.0f}"),
@@ -201,7 +264,12 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     cells = [_cell(args, name, args.workload) for name in PLATFORMS]
-    outcome = run_grid(cells, jobs=args.jobs, cache=_result_cache(args))
+    outcome = run_grid(
+        cells,
+        jobs=args.jobs,
+        cache=_result_cache(args),
+        image_cache=_image_cache(args),
+    )
     rows = []
     base = None
     for name, result in zip(PLATFORMS, outcome.results):
@@ -248,7 +316,12 @@ def cmd_sweep(args) -> int:
         for _label, config, extra in variants
         for platform in platforms
     ]
-    outcome = run_grid(cells, jobs=args.jobs, cache=_result_cache(args))
+    outcome = run_grid(
+        cells,
+        jobs=args.jobs,
+        cache=_result_cache(args),
+        image_cache=_image_cache(args),
+    )
     results = iter(outcome.results)
     rows = []
     for label, _config, _extra in variants:
@@ -269,10 +342,17 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_cache(args) -> int:
+    from pathlib import Path
+
+    from .directgraph import ImageCache
+
     cache = ResultCache(args.cache_dir)
+    images = ImageCache(args.image_cache_dir or Path(cache.root) / "images")
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
+        removed_images = images.clear()
+        print(f"removed {removed_images} cached images from {images.root}")
     elif args.action == "prune":
         if args.keep_days is None and args.max_mb is None:
             print("cache prune needs --keep-days and/or --max-mb")
@@ -283,11 +363,20 @@ def cmd_cache(args) -> int:
             f"pruned {removed} entries from {cache.root} "
             f"({stats.entries} left, {stats.total_mb:.2f} MB)"
         )
+        removed_images = images.prune(keep_days=args.keep_days, max_mb=args.max_mb)
+        istats = images.stats()
+        print(
+            f"pruned {removed_images} images from {images.root} "
+            f"({istats.entries} left, {istats.total_mb:.2f} MB)"
+        )
     else:
         stats = cache.stats()
+        istats = images.stats()
         print(f"cache dir: {cache.root}")
         print(f"entries:   {stats.entries}")
         print(f"size:      {stats.total_mb:.2f} MB")
+        print(f"image dir: {images.root}")
+        print(f"images:    {istats.entries} ({istats.total_mb:.2f} MB)")
     return 0
 
 
@@ -297,13 +386,35 @@ def cmd_perf(args) -> int:
         format_report,
         load_report,
         merge_before_after,
+        run_prepare_suite,
         run_suite,
         write_report,
     )
 
-    report = run_suite(
-        scale=args.scale, repeats=args.repeat, end_to_end=args.end_to_end
-    )
+    reports = []
+    if args.suite in ("kernel", "all"):
+        reports.append(
+            run_suite(
+                scale=args.scale, repeats=args.repeat, end_to_end=args.end_to_end
+            )
+        )
+    if args.suite in ("prepare", "all"):
+        reports.append(
+            run_prepare_suite(
+                nodes=args.prepare_nodes,
+                workload=args.prepare_workload,
+                repeats=args.repeat,
+                impl=args.prepare_impl,
+            )
+        )
+    report = reports[0]
+    if len(reports) > 1:
+        report = {
+            "schema": report["schema"],
+            "results": {
+                name: row for r in reports for name, row in r["results"].items()
+            },
+        }
     print(format_report(report))
     out_doc = report
     if args.baseline:

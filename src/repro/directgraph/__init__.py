@@ -2,11 +2,17 @@
 
 from .address import ADDRESS_BYTES, AddressCodec, SectionAddress
 from .builder import (
+    BUILD_COUNTER,
     BuildStats,
     DirectGraphImage,
     NodePlan,
     PagePlan,
     build_directgraph,
+)
+from .imagecache import (
+    CachedImage,
+    ImageCache,
+    default_image_cache_dir,
 )
 from .reader import (
     DecodedPage,
@@ -41,10 +47,14 @@ __all__ = [
     "PRIMARY_HEADER_BYTES",
     "SECONDARY_HEADER_BYTES",
     "build_directgraph",
+    "BUILD_COUNTER",
     "DirectGraphImage",
     "NodePlan",
     "PagePlan",
     "BuildStats",
+    "ImageCache",
+    "CachedImage",
+    "default_image_cache_dir",
     "DirectGraphReader",
     "DirectGraphFormatError",
     "decode_page",

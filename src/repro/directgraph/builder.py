@@ -1,4 +1,4 @@
-"""DirectGraph construction — the paper's Algorithm 1.
+"""DirectGraph construction — the paper's Algorithm 1, vectorized.
 
 Two steps, exactly as published:
 
@@ -14,12 +14,30 @@ Two steps, exactly as published:
 Plan-only mode (``serialize=False``) runs step 1 alone; it is how the
 full-scale Table IV storage-inflation numbers are computed without
 materializing hundreds of GBs.
+
+This module is a vectorized rewrite of the original per-node builder,
+which is retained verbatim in :mod:`repro.directgraph._reference` as the
+executable layout specification. The two are required to be
+**byte-identical** (pages) and **structurally identical** (``NodePlan`` /
+``PagePlan`` / ``BuildStats``); see ``tests/test_directgraph_vectorized.py``.
+The key invariants the rewrite relies on:
+
+* Primary pages fill with consecutive nodes, so runs of fully-inline
+  nodes can be placed in one batch: a node fits inline iff the *prefix
+  sum* of full-section sizes since the page's first node stays within the
+  page payload (``np.searchsorted`` finds the run length).
+* A node is split at most once per page boundary, so the splitting
+  fixpoint stays scalar — it runs O(#pages) times, not O(#nodes).
+* Neighbor entries are the packed primary addresses of ``graph.indices``
+  in adjacency order, so one global gather produces every neighbor byte
+  in the image; sections slice it by (indptr offset, count).
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,7 +60,26 @@ __all__ = [
     "BuildStats",
     "DirectGraphImage",
     "build_directgraph",
+    "BUILD_COUNTER",
 ]
+
+
+class _Counter:
+    """Process-wide invocation counter (cache-effectiveness assertions)."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+#: Incremented once per :func:`build_directgraph` call in this process.
+#: Tests and the CI cold/warm smoke use it to assert that warm image
+#: caches perform zero builds.
+BUILD_COUNTER = _Counter()
 
 
 @dataclass
@@ -178,106 +215,102 @@ class DirectGraphImage:
 MIN_INLINE_SPLIT = 8
 
 
-def _plan_node_sections(
-    spec: FormatSpec, node_id: int, degree: int, budget: int
-) -> Optional[NodePlan]:
-    """Plan one node's sections given ``budget`` bytes left on the page.
+def _plan_split(
+    degree: int,
+    budget: int,
+    base_header: int,
+    sec_cap: int,
+    payload: int,
+) -> Optional[Tuple[int, int]]:
+    """The split fixpoint of Figure 8: ``(n_secondary, n_inline)`` or None.
 
-    Figure 8's rule: a node fills its primary section *until the section
-    fulfills the page*; excess neighbors overflow to secondary sections.
-    Overflow is chunked into max-capacity secondary sections (all full
-    except the last), which is what lets the die sampler map an overflow
-    index to its section ordinal with one division.
-
-    Returns ``None`` when the node cannot start on this page (the caller
-    opens a fresh page).
+    Called only when the node's full section does not fit in ``budget``
+    (the run-batching step already placed every node that fits whole).
+    Pure-integer replica of the reference ``_plan_node_sections`` overflow
+    branch: the section header stores one address per secondary section,
+    shrinking the inline-neighbor budget, hence the fixpoint on
+    ``n_secondary``. ``base_header`` is the primary-section header size
+    with zero secondary addresses (growth slots + feature vector included).
     """
-    sec_cap = spec.max_secondary_neighbors
-    full = spec.primary_section_bytes(n_secondary=0, n_inline=degree)
-    if full <= budget:
-        return NodePlan(node_id, degree, n_inline=degree, secondary_counts=[])
-
-    # Fixpoint on n_secondary: the section header stores one address per
-    # secondary section, shrinking the inline-neighbor budget.
     n_secondary = 1
     n_inline = 0
     for _ in range(64):
-        header = (
-            PRIMARY_HEADER_BYTES
-            + ADDRESS_BYTES * (n_secondary + spec.growth_slots)
-            + spec.feature_bytes
-        )
+        header = base_header + ADDRESS_BYTES * n_secondary
         if header > budget:
             return None
         n_inline = min(degree, (budget - header) // ADDRESS_BYTES)
         remaining = degree - n_inline
-        if remaining <= 0:  # pragma: no cover - caught by the `full` check
-            return NodePlan(node_id, degree, n_inline=degree, secondary_counts=[])
+        if remaining <= 0:  # pragma: no cover - caught by the full-fit check
+            return (0, degree)
         needed = -(-remaining // sec_cap)
         if needed == n_secondary:
             break
         n_secondary = needed
     else:  # pragma: no cover - defensive
         raise ValueError(f"section planning did not converge for degree {degree}")
-    if n_inline < MIN_INLINE_SPLIT and budget < spec.page_payload_bytes:
+    if n_inline < MIN_INLINE_SPLIT and budget < payload:
         return None  # not worth cutting; start on a fresh page instead
-    remaining = degree - n_inline
-    counts = [sec_cap] * (remaining // sec_cap)
-    if remaining % sec_cap:
-        counts.append(remaining % sec_cap)
-    return NodePlan(node_id, degree, n_inline=n_inline, secondary_counts=counts)
+    return (n_secondary, n_inline)
 
 
-class _PagePacker:
-    """First-fit packing over a bounded window of open pages.
+class _PlanState:
+    """Page tables being grown by the planning pass.
 
-    A single page counter is shared by primary and secondary pages so page
-    indices interleave in creation order (which then stripes them across
-    channels/dies in the flash mapping).
+    Plain parallel lists instead of ``PagePlan`` objects so per-page used
+    bytes and section counts stay O(1) bookkeeping; the public dataclasses
+    are materialized once at the end.
     """
 
-    def __init__(self, spec: FormatSpec, open_page_limit: int = 32) -> None:
-        self.spec = spec
+    __slots__ = (
+        "payload",
+        "max_secs",
+        "open_page_limit",
+        "types",
+        "entries",
+        "sizes",
+        "used",
+        "open_secondary",
+    )
+
+    def __init__(self, spec: FormatSpec, open_page_limit: int) -> None:
+        self.payload = spec.page_payload_bytes
+        self.max_secs = spec.max_sections_per_page
         self.open_page_limit = open_page_limit
-        self.pages: List[PagePlan] = []
-        self._open: Dict[int, List[PagePlan]] = {
-            PAGE_TYPE_PRIMARY: [],
-            PAGE_TYPE_SECONDARY: [],
-        }
+        self.types: List[int] = []
+        self.entries: List[List[Tuple[int, int, int]]] = []
+        self.sizes: List[List[int]] = []
+        self.used: List[int] = []
+        # Open-window first-fit applies to secondary pages only: primary
+        # pages are filled strictly sequentially by the planning loop (the
+        # reference keeps a primary window too, but never places into it).
+        self.open_secondary: List[int] = []
 
-    def place(self, page_type: int, size: int) -> PagePlan:
-        """Reserve ``size`` bytes on some page of ``page_type``.
+    def new_page(self, page_type: int) -> int:
+        index = len(self.types)
+        self.types.append(page_type)
+        self.entries.append([])
+        self.sizes.append([])
+        self.used.append(0)
+        if page_type == PAGE_TYPE_SECONDARY:
+            self.open_secondary.append(index)
+            if len(self.open_secondary) > self.open_page_limit:
+                self.open_secondary.pop(0)
+        return index
 
-        The caller appends the matching entry; at the moment ``place``
-        returns, ``page.n_sections`` is the index the new section will get.
-        """
-        if size > self.spec.page_payload_bytes:
+    def place_secondary(self, size: int) -> int:
+        """First-fit a secondary section over the bounded open window."""
+        payload = self.payload
+        if size > payload:
             raise ValueError(
-                f"section of {size} B exceeds page payload "
-                f"{self.spec.page_payload_bytes} B"
+                f"section of {size} B exceeds page payload {payload} B"
             )
-        open_pages = self._open[page_type]
-        for page in open_pages:
-            fits = (
-                self.spec.page_payload_bytes - page.used_bytes >= size
-                and page.n_sections < self.spec.max_sections_per_page
-            )
-            if fits:
-                page.sizes.append(size)
+        max_secs = self.max_secs
+        used = self.used
+        entries = self.entries
+        for page in self.open_secondary:
+            if payload - used[page] >= size and len(entries[page]) < max_secs:
                 return page
-        page = self.new_page(page_type)
-        page.sizes.append(size)
-        return page
-
-    def new_page(self, page_type: int) -> PagePlan:
-        """Open a fresh page of the given type."""
-        page = PagePlan(page_index=len(self.pages), page_type=page_type)
-        self.pages.append(page)
-        open_pages = self._open[page_type]
-        open_pages.append(page)
-        if len(open_pages) > self.open_page_limit:
-            open_pages.pop(0)
-        return page
+        return self.new_page(PAGE_TYPE_SECONDARY)
 
 
 def build_directgraph(
@@ -288,6 +321,7 @@ def build_directgraph(
     open_page_limit: int = 32,
 ) -> DirectGraphImage:
     """Run Algorithm 1 over ``graph`` (and ``features`` when serializing)."""
+    BUILD_COUNTER.count += 1
     if spec is None:
         dim = features.dim if features is not None else 128
         spec = FormatSpec(feature_dim=dim)
@@ -301,61 +335,141 @@ def build_directgraph(
         if features.num_nodes < graph.num_nodes:
             raise ValueError("feature table smaller than graph")
 
-    packer = _PagePacker(spec, open_page_limit)
-    node_plans: List[NodePlan] = []
-    current_primary: Optional[PagePlan] = None
+    n = graph.num_nodes
+    payload = spec.page_payload_bytes
+    max_secs = spec.max_sections_per_page
+    sec_cap = spec.max_secondary_neighbors
 
-    # Step 1: allocate space node by node, recording section -> page maps.
-    # Primary pages fill sequentially: the running node's section is cut at
-    # the page boundary (overflow -> secondary sections), so primary pages
-    # carry almost no internal waste unless the per-page section-count cap
-    # (2^section_bits) binds first.
-    for node_id in range(graph.num_nodes):
-        degree = graph.degree(node_id)
-        plan = None
-        if (
-            current_primary is not None
-            and current_primary.n_sections < spec.max_sections_per_page
-        ):
-            budget = spec.page_payload_bytes - current_primary.used_bytes
-            plan = _plan_node_sections(spec, node_id, degree, budget)
-        if plan is None:
-            current_primary = packer.new_page(PAGE_TYPE_PRIMARY)
-            plan = _plan_node_sections(
-                spec, node_id, degree, spec.page_payload_bytes
+    deg = np.asarray(graph.degrees(), dtype=np.int64)
+    # Primary-section header size with zero secondary addresses; a node's
+    # full (all-inline) section is base_header + 4 bytes per neighbor.
+    base_header = spec.primary_section_bytes(0, 0)
+    # The prefix sum turns "do nodes i..j fit on this page whole?" into one
+    # subtraction, and searchsorted finds the longest such run.
+    full_prefix = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(base_header + ADDRESS_BYTES * deg, out=full_prefix[1:])
+
+    state = _PlanState(spec, open_page_limit)
+    prim_page = np.empty(n, dtype=np.int64)
+    prim_sec = np.empty(n, dtype=np.int64)
+    n_inline = deg.copy()  # overwritten for split nodes
+    # node -> (secondary_counts, [(page, section), ...]); split nodes only
+    splits: Dict[int, Tuple[List[int], List[Tuple[int, int]]]] = {}
+
+    cur = -1  # current primary page index (-1: none open yet)
+    cur_used = 0
+    cur_nsec = 0
+    node = 0
+    while node < n:
+        if cur < 0 or cur_nsec >= max_secs:
+            cur = state.new_page(PAGE_TYPE_PRIMARY)
+            cur_used = 0
+            cur_nsec = 0
+        budget = payload - cur_used
+        # Longest run of consecutive nodes that fit whole on this page.
+        hi = min(node + (max_secs - cur_nsec), n)
+        run = int(
+            np.searchsorted(
+                full_prefix[node + 1 : hi + 1] - full_prefix[node],
+                budget,
+                side="right",
             )
-            if plan is None:  # pragma: no cover - guarded by FormatSpec
+        )
+        if run > 0:
+            end = node + run
+            prim_page[node:end] = cur
+            prim_sec[node:end] = np.arange(cur_nsec, cur_nsec + run)
+            run_sizes = (
+                full_prefix[node + 1 : end + 1] - full_prefix[node:end]
+            ).tolist()
+            state.sizes[cur].extend(run_sizes)
+            state.entries[cur].extend(
+                (v, SECTION_TYPE_PRIMARY, 0) for v in range(node, end)
+            )
+            cur_used += int(full_prefix[end] - full_prefix[node])
+            cur_nsec += run
+            node = end
+            continue
+        # Node `node` does not fit whole: split it at the page boundary,
+        # or start it on a fresh page when the cut is not worth it.
+        split = _plan_split(int(deg[node]), budget, base_header, sec_cap, payload)
+        if split is None:
+            if cur_used == 0 and cur_nsec == 0:  # pragma: no cover
                 raise ValueError(
-                    f"node {node_id} cannot start a primary section even on "
+                    f"node {node} cannot start a primary section even on "
                     "an empty page"
                 )
-        psize = spec.primary_section_bytes(plan.n_secondary, plan.n_inline)
-        section_index = current_primary.n_sections
-        current_primary.sizes.append(psize)
-        current_primary.entries.append((node_id, SECTION_TYPE_PRIMARY, 0))
-        plan.primary_addr = SectionAddress(
-            current_primary.page_index, section_index
-        )
-        for ordinal, count in enumerate(plan.secondary_counts):
-            ssize = spec.secondary_section_bytes(count)
-            spage = packer.place(PAGE_TYPE_SECONDARY, ssize)
-            s_index = spage.n_sections
-            spage.entries.append((node_id, SECTION_TYPE_SECONDARY, ordinal))
-            plan.secondary_addrs.append(SectionAddress(spage.page_index, s_index))
+            cur = state.new_page(PAGE_TYPE_PRIMARY)
+            cur_used = 0
+            cur_nsec = 0
+            continue  # replan `node` against the fresh page
+        n_sec, n_il = split
+        psize = base_header + ADDRESS_BYTES * (n_sec + n_il)
+        prim_page[node] = cur
+        prim_sec[node] = cur_nsec
+        n_inline[node] = n_il
+        state.sizes[cur].append(psize)
+        state.entries[cur].append((node, SECTION_TYPE_PRIMARY, 0))
+        cur_used += psize
+        cur_nsec += 1
+        remaining = int(deg[node]) - n_il
+        counts = [sec_cap] * (remaining // sec_cap)
+        if remaining % sec_cap:
+            counts.append(remaining % sec_cap)
+        sec_addrs: List[Tuple[int, int]] = []
+        for ordinal, count in enumerate(counts):
+            ssize = SECONDARY_HEADER_BYTES + ADDRESS_BYTES * count
+            spage = state.place_secondary(ssize)
+            sec_addrs.append((spage, len(state.entries[spage])))
+            state.entries[spage].append((node, SECTION_TYPE_SECONDARY, ordinal))
+            state.sizes[spage].append(ssize)
+            state.used[spage] += ssize
+        splits[node] = (counts, sec_addrs)
+        node += 1
+
+    # Materialize the public plan objects.
+    deg_list = deg.tolist()
+    n_inline_list = n_inline.tolist()
+    prim_page_list = prim_page.tolist()
+    prim_sec_list = prim_sec.tolist()
+    node_plans: List[NodePlan] = []
+    for v in range(n):
+        split_entry = splits.get(v)
+        if split_entry is None:
+            plan = NodePlan(v, deg_list[v], n_inline=deg_list[v], secondary_counts=[])
+        else:
+            counts, sec_addrs = split_entry
+            plan = NodePlan(
+                v, deg_list[v], n_inline=n_inline_list[v], secondary_counts=counts
+            )
+            plan.secondary_addrs = [
+                SectionAddress(p, s) for p, s in sec_addrs
+            ]
+        plan.primary_addr = SectionAddress(prim_page_list[v], prim_sec_list[v])
         node_plans.append(plan)
 
-    n_primary = sum(1 for p in packer.pages if p.page_type == PAGE_TYPE_PRIMARY)
-    n_secondary = len(packer.pages) - n_primary
+    page_plans = [
+        PagePlan(
+            page_index=i,
+            page_type=state.types[i],
+            entries=state.entries[i],
+            sizes=state.sizes[i],
+        )
+        for i in range(len(state.types))
+    ]
+
+    n_primary = sum(1 for t in state.types if t == PAGE_TYPE_PRIMARY)
+    n_secondary = len(state.types) - n_primary
     stats = BuildStats(
-        num_nodes=graph.num_nodes,
+        num_nodes=n,
         num_edges=graph.num_edges,
         num_primary_pages=n_primary,
         num_secondary_pages=n_secondary,
         page_size=spec.page_size,
-        used_bytes=sum(p.used_bytes for p in packer.pages)
-        + spec.page_header_bytes * len(packer.pages),
+        used_bytes=sum(sum(sizes) for sizes in state.sizes)
+        + spec.page_header_bytes * len(state.types),
     )
-    image = DirectGraphImage(spec, node_plans, packer.pages, stats)
+    image = DirectGraphImage(spec, node_plans, page_plans, stats)
     if serialize:
         image.pages = _serialize_pages(image, graph, features)
     return image
@@ -364,111 +478,135 @@ def build_directgraph(
 # -- step 2: serialization ----------------------------------------------------
 
 
+_PRIMARY_HEADER = struct.Struct("<BBHIIHH")  # type,flags,len,node,deg,nsec,ninl
+_SECONDARY_HEADER = struct.Struct("<BBHIHH")  # type,flags,len,node,count,rsvd
+
+assert _PRIMARY_HEADER.size == PRIMARY_HEADER_BYTES
+assert _SECONDARY_HEADER.size == SECONDARY_HEADER_BYTES
+
+
+def _packed_primary_addresses(image: DirectGraphImage) -> np.ndarray:
+    """Packed 4-byte primary addresses for all nodes, range-validated."""
+    codec = image.spec.codec
+    plans = image.node_plans
+    n = len(plans)
+    pages = np.fromiter(
+        (p.primary_addr.page for p in plans), dtype=np.int64, count=n
+    )
+    sections = np.fromiter(
+        (p.primary_addr.section for p in plans), dtype=np.int64, count=n
+    )
+    bad = (
+        (pages < 0)
+        | (pages >= codec.max_pages)
+        | (sections < 0)
+        | (sections >= codec.max_sections_per_page)
+    )
+    if bad.any():
+        # Raise the codec's own error for the first offending node.
+        codec.pack(plans[int(np.argmax(bad))].primary_addr)
+        raise AssertionError("unreachable")  # pragma: no cover
+    return (pages << codec.section_bits) | sections
+
+
 def _serialize_pages(
     image: DirectGraphImage, graph: Graph, features: FeatureTable
 ) -> Dict[int, bytes]:
     spec = image.spec
     codec = spec.codec
-    primary_packed = [
-        codec.pack(plan.primary_addr) for plan in image.node_plans
-    ]
+    packed_primary = _packed_primary_addresses(image)
+    # Every neighbor entry in the whole image, in adjacency order: section
+    # payloads slice this one blob by (indptr offset, count) x 4 bytes.
+    nbr_blob = packed_primary[graph.indices].astype("<u4").tobytes()
+    indptr = graph.indptr.tolist()
+
+    page_header_bytes = spec.page_header_bytes
+    growth_slots = spec.growth_slots
+    growth_bytes = b"\xff\xff\xff\xff" * growth_slots
+    growth_len = len(growth_bytes)
+    feature_bytes = spec.feature_bytes
+    feature_vector = features.vector
+    pack_addr_bytes = codec.pack_bytes
+    page_size = spec.page_size
+    plans = image.node_plans
+    # node -> neighbor-list start offset per secondary ordinal (split
+    # nodes only), filled lazily on first encounter.
+    sec_starts: Dict[int, List[int]] = {}
+
     pages: Dict[int, bytes] = {}
     for page in image.page_plans:
-        buf = bytearray(spec.page_size)
+        buf = bytearray(page_size)
         buf[0] = page.page_type
         buf[1] = page.n_sections
-        offset_table = 2
-        cursor = spec.page_header_bytes
-        for slot, ((node_id, kind, ordinal), size) in enumerate(
-            zip(page.entries, page.sizes)
-        ):
-            buf[offset_table + 2 * slot : offset_table + 2 * slot + 2] = cursor.to_bytes(
-                2, "little"
-            )
-            plan = image.node_plans[node_id]
-            if kind == SECTION_TYPE_PRIMARY:
-                _write_primary_section(
-                    spec, buf, cursor, size, plan, graph, features, primary_packed
-                )
-            else:
-                _write_secondary_section(
-                    spec, buf, cursor, size, plan, ordinal, graph, primary_packed
-                )
+        sizes = page.sizes
+        offsets = []
+        cursor = page_header_bytes
+        for size in sizes:
+            offsets.append(cursor)
             cursor += size
+        if offsets:
+            struct.pack_into(f"<{len(offsets)}H", buf, 2, *offsets)
+        for (node_id, kind, ordinal), at, size in zip(
+            page.entries, offsets, sizes
+        ):
+            plan = plans[node_id]
+            if kind == SECTION_TYPE_PRIMARY:
+                _PRIMARY_HEADER.pack_into(
+                    buf,
+                    at,
+                    SECTION_TYPE_PRIMARY,
+                    growth_slots,  # flags: free growth slots remaining
+                    size,
+                    node_id,
+                    plan.degree,
+                    len(plan.secondary_counts),
+                    plan.n_inline,
+                )
+                pos = at + PRIMARY_HEADER_BYTES
+                for sec_addr in plan.secondary_addrs:
+                    buf[pos : pos + 4] = pack_addr_bytes(sec_addr)
+                    pos += 4
+                if growth_len:  # reserved (null) secondary slots
+                    buf[pos : pos + growth_len] = growth_bytes
+                    pos += growth_len
+                vec = np.ascontiguousarray(
+                    feature_vector(node_id), dtype=np.float16
+                )
+                raw = vec.tobytes()
+                buf[pos : pos + len(raw)] = raw
+                pos += feature_bytes
+                start = 4 * indptr[node_id]
+                chunk = nbr_blob[start : start + 4 * plan.n_inline]
+                buf[pos : pos + len(chunk)] = chunk
+                pos += len(chunk)
+            else:
+                count = plan.secondary_counts[ordinal]
+                starts = sec_starts.get(node_id)
+                if starts is None:
+                    starts = []
+                    offset = plan.n_inline
+                    for c in plan.secondary_counts:
+                        starts.append(offset)
+                        offset += c
+                    sec_starts[node_id] = starts
+                skip = starts[ordinal]
+                _SECONDARY_HEADER.pack_into(
+                    buf,
+                    at,
+                    SECTION_TYPE_SECONDARY,
+                    0,
+                    size,
+                    node_id,
+                    count,
+                    0,
+                )
+                pos = at + SECONDARY_HEADER_BYTES
+                start = 4 * (indptr[node_id] + skip)
+                chunk = nbr_blob[start : start + 4 * count]
+                buf[pos : pos + len(chunk)] = chunk
+                pos += len(chunk)
+            assert pos - at == size, "section size mismatch"
         # unused offset-table slots stay 0 (offset 0 is inside the header,
         # hence invalid — readers treat it as "no section")
         pages[page.page_index] = bytes(buf)
     return pages
-
-
-def _neighbor_slices(plan: NodePlan) -> List[Tuple[int, int]]:
-    """(start, end) neighbor-list ranges: inline first, then per secondary."""
-    ranges = [(0, plan.n_inline)]
-    cursor = plan.n_inline
-    for count in plan.secondary_counts:
-        ranges.append((cursor, cursor + count))
-        cursor += count
-    return ranges
-
-
-def _write_primary_section(
-    spec: FormatSpec,
-    buf: bytearray,
-    at: int,
-    size: int,
-    plan: NodePlan,
-    graph: Graph,
-    features: FeatureTable,
-    primary_packed: Sequence[int],
-) -> None:
-    neighbors = graph.neighbors(plan.node_id)
-    buf[at] = SECTION_TYPE_PRIMARY
-    buf[at + 1] = spec.growth_slots  # flags: free growth slots remaining
-    buf[at + 2 : at + 4] = size.to_bytes(2, "little")
-    buf[at + 4 : at + 8] = plan.node_id.to_bytes(4, "little")
-    buf[at + 8 : at + 12] = plan.degree.to_bytes(4, "little")
-    buf[at + 12 : at + 14] = plan.n_secondary.to_bytes(2, "little")
-    buf[at + 14 : at + 16] = plan.n_inline.to_bytes(2, "little")
-    cursor = at + PRIMARY_HEADER_BYTES
-    for sec_addr in plan.secondary_addrs:
-        buf[cursor : cursor + 4] = spec.codec.pack_bytes(sec_addr)
-        cursor += 4
-    for _ in range(spec.growth_slots):  # reserved (null) secondary slots
-        buf[cursor : cursor + 4] = b"\xff\xff\xff\xff"
-        cursor += 4
-    vec = np.ascontiguousarray(features.vector(plan.node_id), dtype=np.float16)
-    raw = vec.tobytes()
-    buf[cursor : cursor + len(raw)] = raw
-    cursor += spec.feature_bytes
-    for i in range(plan.n_inline):
-        packed = primary_packed[int(neighbors[i])]
-        buf[cursor : cursor + 4] = packed.to_bytes(4, "little")
-        cursor += 4
-    assert cursor - at == size, "primary section size mismatch"
-
-
-def _write_secondary_section(
-    spec: FormatSpec,
-    buf: bytearray,
-    at: int,
-    size: int,
-    plan: NodePlan,
-    ordinal: int,
-    graph: Graph,
-    primary_packed: Sequence[int],
-) -> None:
-    neighbors = graph.neighbors(plan.node_id)
-    start, end = _neighbor_slices(plan)[1 + ordinal]
-    count = end - start
-    buf[at] = SECTION_TYPE_SECONDARY
-    buf[at + 1] = 0
-    buf[at + 2 : at + 4] = size.to_bytes(2, "little")
-    buf[at + 4 : at + 8] = plan.node_id.to_bytes(4, "little")
-    buf[at + 8 : at + 10] = count.to_bytes(2, "little")
-    buf[at + 10 : at + 12] = (0).to_bytes(2, "little")
-    cursor = at + SECONDARY_HEADER_BYTES
-    for i in range(start, end):
-        packed = primary_packed[int(neighbors[i])]
-        buf[cursor : cursor + 4] = packed.to_bytes(4, "little")
-        cursor += 4
-    assert cursor - at == size, "secondary section size mismatch"

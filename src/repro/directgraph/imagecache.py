@@ -1,0 +1,367 @@
+"""Content-addressed on-disk cache of serialized DirectGraph images.
+
+Preparing a workload (graph synthesis + feature table + Algorithm 1) is
+the dominant cost of cold grids at benchmark scale, yet its output is a
+pure function of ``(WorkloadSpec, page_size, format geometry)``. This
+cache stores that output — the CSR graph plus the fully-serialized
+:class:`~repro.directgraph.builder.DirectGraphImage` — in one ``.npz``
+file per key, so any entry point (``PreparedWorkload.prepare``,
+``run_grid`` workers, scale-out sharding, the CLI) that needs the same
+workload image builds it exactly once per machine and loads bytes
+thereafter.
+
+Keys come from :func:`repro.cacheutil.stable_hash` over the canonical
+value contents, so logically-equal specs constructed in different ways
+share entries. Entries are written atomically (tmp file + rename) and
+any unreadable/corrupt entry is treated as a miss, never an error.
+
+Feature tables are *not* stored: they are procedural (O(1) memory,
+derived from the workload seed), so the loader reconstructs them for
+free while the expensive parts — edges and page bytes — come off disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..cacheutil import (
+    CacheStats,
+    clear_dir,
+    default_cache_dir,
+    dir_stats,
+    prune_dir,
+    stable_hash,
+)
+from ..gnn.graph import Graph
+from .builder import BuildStats, DirectGraphImage, NodePlan, PagePlan
+from .address import SectionAddress
+from .spec import FormatSpec
+
+__all__ = [
+    "IMAGE_SCHEMA_VERSION",
+    "ImageCacheCounters",
+    "COUNTERS",
+    "CachedImage",
+    "ImageCache",
+    "default_image_cache_dir",
+]
+
+#: Bump whenever the on-disk array layout or the key derivation changes;
+#: old entries then simply miss (they key on the old schema version).
+IMAGE_SCHEMA_VERSION = 1
+
+
+class ImageCacheCounters:
+    """Opt-in effectiveness counters (``repro cache stats``, tests)."""
+
+    __slots__ = ("hits", "misses", "stores")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+#: Process-wide counters, aggregated across every ImageCache instance.
+COUNTERS = ImageCacheCounters()
+
+
+def default_image_cache_dir() -> Path:
+    """Image entries live next to the result cache: ``<cache>/images``."""
+    return default_cache_dir() / "images"
+
+
+@dataclass
+class CachedImage:
+    """What one cache entry reconstructs: the graph and its image."""
+
+    graph: Graph
+    image: DirectGraphImage
+
+
+class ImageCache:
+    """Directory of ``<key>.npz`` entries, one per prepared image."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = (
+            Path(root).expanduser() if root else default_image_cache_dir()
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.counters = ImageCacheCounters()
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, bool, str, Path, "ImageCache"]
+    ) -> Optional["ImageCache"]:
+        """Normalize user-facing knobs: cache object, path, True/None/False."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        return cls(value)
+
+    # -- keys -----------------------------------------------------------------
+
+    def key_for(self, workload, page_size: int, fmt: FormatSpec) -> str:
+        """Hash of everything the image bytes depend on."""
+        return stable_hash(
+            {
+                "kind": "directgraph-image",
+                "schema": IMAGE_SCHEMA_VERSION,
+                "workload": workload,
+                "page_size": int(page_size),
+                "format": {
+                    "page_size": fmt.page_size,
+                    "feature_dim": fmt.feature_dim,
+                    "feature_elem_bytes": fmt.feature_elem_bytes,
+                    "growth_slots": fmt.growth_slots,
+                    # AddressCodec is not a dataclass; hash its bits manually.
+                    "page_bits": fmt.codec.page_bits,
+                    "section_bits": fmt.codec.section_bits,
+                },
+            }
+        )
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    # -- store / load ---------------------------------------------------------
+
+    def put(self, key: str, graph: Graph, image: DirectGraphImage) -> Path:
+        """Persist a serialized image; atomic, last-writer-wins."""
+        if image.pages is None:
+            raise ValueError("only serialized images can be cached")
+        arrays = _image_to_arrays(graph, image)
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.counters.stores += 1
+        COUNTERS.stores += 1
+        return path
+
+    def get(self, key: str) -> Optional[CachedImage]:
+        """Reconstructed entry, or None on miss / unreadable bytes."""
+        path = self.path_for(key)
+        try:
+            with np.load(path) as data:
+                cached = _arrays_to_image(data)
+        except Exception:
+            self.counters.misses += 1
+            COUNTERS.misses += 1
+            return None
+        self.counters.hits += 1
+        COUNTERS.hits += 1
+        return cached
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        return clear_dir(self.root, "*.npz")
+
+    def stats(self) -> CacheStats:
+        return dir_stats(self.root, "*.npz")
+
+    def prune(
+        self,
+        keep_days: Optional[float] = None,
+        max_mb: Optional[float] = None,
+        _now: Optional[float] = None,
+    ) -> int:
+        """Evict stale entries; see :func:`repro.cacheutil.prune_dir`."""
+        return prune_dir(
+            self.root, "*.npz", keep_days=keep_days, max_mb=max_mb, _now=_now
+        )
+
+
+# -- array (de)serialization --------------------------------------------------
+#
+# One flat set of numpy arrays per entry; plan objects are rebuilt on load.
+# Page indices are dense 0..P-1 by construction (the builder's shared page
+# counter), so page bytes concatenate into a single uint8 blob.
+
+
+def _image_to_arrays(graph: Graph, image: DirectGraphImage) -> dict:
+    spec = image.spec
+    plans = image.node_plans
+    n = len(plans)
+    num_pages = len(image.page_plans)
+
+    sec_indptr = np.zeros(n + 1, dtype=np.int64)
+    for i, plan in enumerate(plans):
+        sec_indptr[i + 1] = sec_indptr[i] + len(plan.secondary_counts)
+    total_sec = int(sec_indptr[-1])
+    sec_counts = np.zeros(total_sec, dtype=np.int64)
+    sec_pages = np.zeros(total_sec, dtype=np.int64)
+    sec_sections = np.zeros(total_sec, dtype=np.int64)
+    for i, plan in enumerate(plans):
+        at = int(sec_indptr[i])
+        for j, (count, addr) in enumerate(
+            zip(plan.secondary_counts, plan.secondary_addrs)
+        ):
+            sec_counts[at + j] = count
+            sec_pages[at + j] = addr.page
+            sec_sections[at + j] = addr.section
+
+    entry_indptr = np.zeros(num_pages + 1, dtype=np.int64)
+    for i, page in enumerate(image.page_plans):
+        entry_indptr[i + 1] = entry_indptr[i] + len(page.entries)
+    total_entries = int(entry_indptr[-1])
+    entry_node = np.zeros(total_entries, dtype=np.int64)
+    entry_kind = np.zeros(total_entries, dtype=np.uint8)
+    entry_ordinal = np.zeros(total_entries, dtype=np.int64)
+    entry_size = np.zeros(total_entries, dtype=np.int64)
+    for i, page in enumerate(image.page_plans):
+        at = int(entry_indptr[i])
+        for j, ((node, kind, ordinal), size) in enumerate(
+            zip(page.entries, page.sizes)
+        ):
+            entry_node[at + j] = node
+            entry_kind[at + j] = kind
+            entry_ordinal[at + j] = ordinal
+            entry_size[at + j] = size
+
+    blob = b"".join(image.pages[i] for i in range(num_pages))
+    meta = {
+        "schema": IMAGE_SCHEMA_VERSION,
+        "page_size": spec.page_size,
+        "feature_dim": spec.feature_dim,
+        "feature_elem_bytes": spec.feature_elem_bytes,
+        "growth_slots": spec.growth_slots,
+        "page_bits": spec.codec.page_bits,
+        "section_bits": spec.codec.section_bits,
+        "stats": {
+            "num_nodes": image.stats.num_nodes,
+            "num_edges": image.stats.num_edges,
+            "num_primary_pages": image.stats.num_primary_pages,
+            "num_secondary_pages": image.stats.num_secondary_pages,
+            "page_size": image.stats.page_size,
+            "used_bytes": image.stats.used_bytes,
+        },
+    }
+    return {
+        "meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        "indptr": np.asarray(graph.indptr, dtype=np.int64),
+        "indices": np.asarray(graph.indices, dtype=np.int32),
+        "n_inline": np.fromiter((p.n_inline for p in plans), np.int64, n),
+        "prim_page": np.fromiter(
+            (p.primary_addr.page for p in plans), np.int64, n
+        ),
+        "prim_sec": np.fromiter(
+            (p.primary_addr.section for p in plans), np.int64, n
+        ),
+        "sec_indptr": sec_indptr,
+        "sec_counts": sec_counts,
+        "sec_pages": sec_pages,
+        "sec_sections": sec_sections,
+        "page_type": np.fromiter(
+            (p.page_type for p in image.page_plans), np.uint8, num_pages
+        ),
+        "entry_indptr": entry_indptr,
+        "entry_node": entry_node,
+        "entry_kind": entry_kind,
+        "entry_ordinal": entry_ordinal,
+        "entry_size": entry_size,
+        "pages_blob": np.frombuffer(blob, dtype=np.uint8),
+    }
+
+
+def _arrays_to_image(data) -> CachedImage:
+    from .address import AddressCodec  # local: avoid import-order surprises
+
+    meta = json.loads(bytes(data["meta"]).decode())
+    if meta["schema"] != IMAGE_SCHEMA_VERSION:
+        raise ValueError(f"unsupported image schema {meta['schema']}")
+    spec = FormatSpec(
+        page_size=int(meta["page_size"]),
+        feature_dim=int(meta["feature_dim"]),
+        codec=AddressCodec(
+            page_bits=int(meta["page_bits"]),
+            section_bits=int(meta["section_bits"]),
+        ),
+        feature_elem_bytes=int(meta["feature_elem_bytes"]),
+        growth_slots=int(meta["growth_slots"]),
+    )
+    graph = Graph(data["indptr"], data["indices"])
+
+    n_inline = data["n_inline"].tolist()
+    prim_page = data["prim_page"].tolist()
+    prim_sec = data["prim_sec"].tolist()
+    sec_indptr = data["sec_indptr"].tolist()
+    sec_counts = data["sec_counts"].tolist()
+    sec_pages = data["sec_pages"].tolist()
+    sec_sections = data["sec_sections"].tolist()
+    degrees = graph.degrees().tolist()
+
+    node_plans = []
+    for v in range(graph.num_nodes):
+        lo, hi = sec_indptr[v], sec_indptr[v + 1]
+        plan = NodePlan(
+            v,
+            degrees[v],
+            n_inline=n_inline[v],
+            secondary_counts=sec_counts[lo:hi],
+        )
+        plan.primary_addr = SectionAddress(prim_page[v], prim_sec[v])
+        plan.secondary_addrs = [
+            SectionAddress(sec_pages[i], sec_sections[i]) for i in range(lo, hi)
+        ]
+        node_plans.append(plan)
+
+    page_type = data["page_type"].tolist()
+    entry_indptr = data["entry_indptr"].tolist()
+    entry_node = data["entry_node"].tolist()
+    entry_kind = data["entry_kind"].tolist()
+    entry_ordinal = data["entry_ordinal"].tolist()
+    entry_size = data["entry_size"].tolist()
+    num_pages = len(page_type)
+
+    blob = data["pages_blob"].tobytes()
+    page_size = spec.page_size
+    if len(blob) != num_pages * page_size:
+        raise ValueError("page blob size mismatch")
+
+    page_plans = []
+    pages = {}
+    for i in range(num_pages):
+        lo, hi = entry_indptr[i], entry_indptr[i + 1]
+        page_plans.append(
+            PagePlan(
+                page_index=i,
+                page_type=page_type[i],
+                entries=[
+                    (entry_node[j], entry_kind[j], entry_ordinal[j])
+                    for j in range(lo, hi)
+                ],
+                sizes=entry_size[lo:hi],
+            )
+        )
+        pages[i] = blob[i * page_size : (i + 1) * page_size]
+
+    stats = BuildStats(**meta["stats"])
+    image = DirectGraphImage(spec, node_plans, page_plans, stats, pages=pages)
+    return CachedImage(graph=graph, image=image)

@@ -13,6 +13,7 @@ from .grid import (
     cell_cache_key,
     derive_cell_seed,
     load_cached,
+    outcome_from_cache,
     run_grid,
 )
 from .serialize import (
@@ -26,6 +27,7 @@ __all__ = [
     "GridOutcome",
     "run_grid",
     "load_cached",
+    "outcome_from_cache",
     "derive_cell_seed",
     "cell_cache_key",
     "ResultCache",

@@ -17,11 +17,16 @@ the same JSON round trip).
 from __future__ import annotations
 
 import multiprocessing
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import __version__
+from ..directgraph import builder as _builder
+from ..directgraph import imagecache as _imagecache
+from ..directgraph.imagecache import ImageCache
 from ..platforms.features import PlatformFeatures
 from ..platforms.registry import platform_by_name
 from ..platforms.result import RunResult
@@ -42,6 +47,7 @@ __all__ = [
     "GridOutcome",
     "run_grid",
     "load_cached",
+    "outcome_from_cache",
     "derive_cell_seed",
     "cell_cache_key",
 ]
@@ -132,26 +138,61 @@ def cell_cache_key(cell: GridCell, seed: int) -> str:
     )
 
 
-# Per-process memo of prepared workload images: building the DirectGraph
-# image dominates tiny-cell cost, and grids reuse few distinct workloads.
-_PREPARED_MEMO: Dict[Tuple[WorkloadSpec, int], PreparedWorkload] = {}
+# Per-process bounded LRU of prepared workload images: the in-memory
+# fast path over the on-disk ImageCache. Long sweeps over many distinct
+# workloads evict least-recently-used entries instead of accumulating
+# every prepared image in RAM.
+_PREPARED_MEMO: "OrderedDict[Tuple[WorkloadSpec, int], PreparedWorkload]" = (
+    OrderedDict()
+)
 _PREPARED_MEMO_MAX = 8
 
 
-def _prepared_for(spec: WorkloadSpec, page_size: int) -> PreparedWorkload:
+def _backfill_image(
+    prepared: PreparedWorkload, page_size: int, image_cache_root: str
+) -> None:
+    """Persist a memoized image the disk cache has never seen.
+
+    A memo hit skips ``PreparedWorkload.prepare`` entirely, so without
+    this an image prepared before the disk cache came into play would
+    never reach it — and spawn workers / later processes would rebuild.
+    """
+    if prepared.image.pages is None:
+        return
+    cache = ImageCache(image_cache_root)
+    key = cache.key_for(prepared.spec, page_size, prepared.image.spec)
+    if key not in cache:
+        cache.put(key, prepared.graph, prepared.image)
+
+
+def _prepared_for(
+    spec: WorkloadSpec,
+    page_size: int,
+    image_cache_root: Optional[str] = None,
+) -> PreparedWorkload:
     key = (spec, page_size)
-    if key not in _PREPARED_MEMO:
-        if len(_PREPARED_MEMO) >= _PREPARED_MEMO_MAX:
-            _PREPARED_MEMO.pop(next(iter(_PREPARED_MEMO)))
-        _PREPARED_MEMO[key] = PreparedWorkload.prepare(spec, page_size=page_size)
-    return _PREPARED_MEMO[key]
+    prepared = _PREPARED_MEMO.get(key)
+    if prepared is not None:
+        _PREPARED_MEMO.move_to_end(key)
+        if image_cache_root is not None:
+            _backfill_image(prepared, page_size, image_cache_root)
+        return prepared
+    prepared = PreparedWorkload.prepare(
+        spec, page_size=page_size, image_cache=image_cache_root
+    )
+    _PREPARED_MEMO[key] = prepared
+    while len(_PREPARED_MEMO) > _PREPARED_MEMO_MAX:
+        _PREPARED_MEMO.popitem(last=False)
+    return prepared
 
 
-def _execute_cell(job: Tuple[GridCell, int]) -> Dict:
+def _execute_cell(job: Tuple[GridCell, int, Optional[str]]) -> Dict:
     """Worker entry point: simulate one cell, return its payload dict."""
-    cell, seed = job
+    cell, seed, image_cache_root = job
     config = cell.resolved_config()
-    prepared = _prepared_for(cell.resolved_workload(), config.flash.page_size)
+    prepared = _prepared_for(
+        cell.resolved_workload(), config.flash.page_size, image_cache_root
+    )
     result = run_platform(
         cell.resolved_platform(),
         prepared,
@@ -163,13 +204,21 @@ def _execute_cell(job: Tuple[GridCell, int]) -> Dict:
 
 @dataclass
 class GridOutcome:
-    """Results of one grid run, in cell order, plus cache accounting."""
+    """Results of one grid run, in cell order, plus cache accounting.
+
+    ``images_built``/``image_hits`` count DirectGraph builds and image-cache
+    hits observed *in the orchestrating process* (workers pre-warm through
+    the parent, so a cold grid builds each distinct workload exactly once
+    and a warm one builds zero).
+    """
 
     results: List[RunResult]
     keys: List[str]
     from_cache: List[bool]
     executed: int = 0
     cache_hits: int = 0
+    images_built: int = 0
+    image_hits: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -183,18 +232,44 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _resolve_image_cache(
+    image_cache, cache: Optional[ResultCache]
+) -> Optional[ImageCache]:
+    """Image-cache knob semantics shared by run_grid and the CLI.
+
+    ``False`` disables; an :class:`ImageCache`/path/``True`` selects
+    explicitly; ``None`` (the default) derives ``<result-cache>/images``
+    when a result cache is in play, else no disk image cache.
+    """
+    if image_cache is False:
+        return None
+    if image_cache is None:
+        if cache is None:
+            return None
+        return ImageCache(Path(cache.root) / "images")
+    return ImageCache.coerce(image_cache)
+
+
 def run_grid(
     cells: Sequence[GridCell],
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     base_seed: int = 0,
+    image_cache=None,
 ) -> GridOutcome:
     """Run every cell, in parallel, skipping cells already in ``cache``.
 
     Returns results in cell order. All results — fresh, parallel, or
     cached — pass through the same serialized payload form, so they are
     interchangeable bit for bit.
+
+    Prepared workload images are shared two ways: the orchestrating
+    process pre-builds each distinct (workload, page_size) once — fork
+    workers inherit it through the in-memory memo — and, when an
+    ``image_cache`` is in play (see :func:`_resolve_image_cache`), the
+    serialized image is persisted so later runs and non-fork workers load
+    bytes instead of rebuilding.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -214,7 +289,25 @@ def run_grid(
         else:
             pending.append(i)
 
-    jobs_args = [(cells[i], seeds[i]) for i in pending]
+    icache = _resolve_image_cache(image_cache, cache)
+    icache_root = str(icache.root) if icache is not None else None
+    builds_before = _builder.BUILD_COUNTER.count
+    image_hits_before = _imagecache.COUNTERS.hits
+
+    if pending:
+        # Pre-warm each distinct prepared image once in this process:
+        # fork workers inherit the memo, and the disk cache (when set)
+        # covers spawn workers and future runs.
+        seen: set = set()
+        for i in pending:
+            cell = cells[i]
+            spec = cell.resolved_workload()
+            page_size = cell.resolved_config().flash.page_size
+            if (spec, page_size) not in seen:
+                seen.add((spec, page_size))
+                _prepared_for(spec, page_size, icache_root)
+
+    jobs_args = [(cells[i], seeds[i], icache_root) for i in pending]
     if len(jobs_args) > 1 and jobs > 1:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(jobs_args)), mp_context=_pool_context()
@@ -247,6 +340,8 @@ def run_grid(
         from_cache=[i not in pending_set for i in range(len(cells))],
         executed=len(pending),
         cache_hits=len(cells) - len(pending),
+        images_built=_builder.BUILD_COUNTER.count - builds_before,
+        image_hits=_imagecache.COUNTERS.hits - image_hits_before,
     )
 
 
@@ -269,3 +364,47 @@ def load_cached(
             result_from_payload(document["payload"]) if document else None
         )
     return out
+
+
+def outcome_from_cache(
+    cells: Sequence[GridCell],
+    cache: ResultCache,
+    *,
+    base_seed: int = 0,
+) -> GridOutcome:
+    """A :class:`GridOutcome` built purely from cached results.
+
+    The warm-cache figure path: rendering benchmarks re-plot a finished
+    sweep with zero simulation and zero image builds. Any miss raises
+    ``KeyError`` naming the missing cells — never silently simulates.
+    """
+    cells = list(cells)
+    seeds = [
+        cell.seed if cell.seed is not None else derive_cell_seed(base_seed, cell)
+        for cell in cells
+    ]
+    keys = [cell_cache_key(cell, seed) for cell, seed in zip(cells, seeds)]
+    payloads = []
+    missing = []
+    for cell, key in zip(cells, keys):
+        document = cache.get(key)
+        if document is None:
+            missing.append(
+                f"{cell.resolved_platform().name}/{cell.resolved_workload().name}"
+            )
+        else:
+            payloads.append(document["payload"])
+    if missing:
+        raise KeyError(
+            f"{len(missing)} of {len(cells)} cells not in result cache "
+            f"{cache.root}: {', '.join(missing[:8])}"
+            + ("..." if len(missing) > 8 else "")
+            + " — run the sweep without --from-cache first"
+        )
+    return GridOutcome(
+        results=[result_from_payload(p) for p in payloads],
+        keys=keys,
+        from_cache=[True] * len(cells),
+        executed=0,
+        cache_hits=len(cells),
+    )

@@ -5,7 +5,9 @@ package gives it a trajectory: :class:`KernelProbe` counts kernel
 operations on one ``Simulator`` instance (opt-in — an unprobed simulator
 runs the unmodified hot path at zero extra cost), and
 :mod:`repro.perf.microbench` is the suite behind ``repro perf`` and the
-checked-in ``BENCH_kernel.json``.
+checked-in ``BENCH_kernel.json``. :mod:`repro.perf.preparebench` covers
+the workload-prepare pipeline (``repro perf --suite prepare``,
+``BENCH_prepare.json``).
 """
 
 from .probe import KernelCounters, KernelProbe
@@ -19,13 +21,16 @@ from .microbench import (
     run_suite,
     write_report,
 )
+from .preparebench import PREPARE_IMPLS, run_prepare_suite
 
 __all__ = [
     "KernelCounters",
     "KernelProbe",
     "BENCH_SCHEMA_VERSION",
     "MICROBENCHES",
+    "PREPARE_IMPLS",
     "run_suite",
+    "run_prepare_suite",
     "format_report",
     "write_report",
     "load_report",

@@ -51,16 +51,42 @@ class PreparedWorkload:
 
     @classmethod
     def prepare(
-        cls, spec: WorkloadSpec, page_size: int = 4096
+        cls,
+        spec: WorkloadSpec,
+        page_size: int = 4096,
+        image_cache=None,
     ) -> "PreparedWorkload":
-        graph = spec.build_graph()
-        features = spec.build_features()
+        """Instantiate a workload, loading the image from cache when possible.
+
+        ``image_cache`` accepts an
+        :class:`~repro.directgraph.imagecache.ImageCache`, a directory
+        path, or ``True`` (default location); ``None``/``False`` always
+        builds. The feature table is procedural, so only the graph and
+        the serialized image come off disk on a hit.
+        """
+        from ..directgraph.imagecache import ImageCache
+
         fmt = FormatSpec(
             page_size=page_size,
             feature_dim=spec.feature_dim,
             codec=AddressCodec.for_geometry(1 << 40, page_size),
         )
+        cache = ImageCache.coerce(image_cache)
+        key = cache.key_for(spec, page_size, fmt) if cache is not None else None
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return cls(
+                    spec=spec,
+                    graph=cached.graph,
+                    features=spec.build_features(),
+                    image=cached.image,
+                )
+        graph = spec.build_graph()
+        features = spec.build_features()
         image = build_directgraph(graph, features, fmt)
+        if cache is not None:
+            cache.put(key, graph, image)
         return cls(spec=spec, graph=graph, features=features, image=image)
 
 

@@ -22,10 +22,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from ..gnn.sampling import tree_capacity
-from ..ssd.config import SSDConfig
+from ..ssd.config import SSDConfig, ull_ssd
 from ..workloads.specs import WorkloadSpec
 from .result import RunResult
-from .runner import PreparedWorkload, run_platform
+from .runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_platform
 
 __all__ = ["P2pLink", "ScaleOutResult", "run_scaleout"]
 
@@ -79,6 +79,7 @@ def run_scaleout(
     link: Optional[P2pLink] = None,
     ssd_config: Optional[SSDConfig] = None,
     seed: int = 0,
+    image_cache=None,
 ) -> ScaleOutResult:
     """Simulate an N-device BeaconGNN array on one workload.
 
@@ -86,12 +87,30 @@ def run_scaleout(
     batch (rounded up) against its own shard; the array batch completes
     when the slowest device finishes and the cross-shard feature traffic
     has drained over the P2P links.
+
+    A raw :class:`WorkloadSpec` is prepared exactly once (optionally
+    through the DirectGraph ``image_cache``) and shared by all shards,
+    instead of rebuilding the image per device.
     """
     if num_devices < 1:
         raise ValueError("need at least one device")
     if not (0.0 <= cross_partition_fraction <= 1.0):
         raise ValueError("cross_partition_fraction must be in [0, 1]")
     link = link or P2pLink()
+
+    if isinstance(workload, WorkloadSpec):
+        # Mirror run_platform's scaling rule, then share one prepared image.
+        config = ssd_config or ull_ssd()
+        spec = (
+            workload
+            if workload.num_nodes <= DEFAULT_SCALED_NODES
+            else workload.scaled(DEFAULT_SCALED_NODES)
+        )
+        workload = PreparedWorkload.prepare(
+            spec,
+            page_size=config.flash.page_size,
+            image_cache=image_cache,
+        )
 
     per_device_batch = max(1, -(-batch_size // num_devices))
     devices: List[RunResult] = []

@@ -39,6 +39,30 @@ class TestParser:
         assert args.action == "prune"
         assert args.keep_days == 7.0 and args.max_mb == 100.0
 
+    def test_image_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "bg2", "amazon", "--no-image-cache"]
+        )
+        assert args.image_cache is False
+        args = build_parser().parse_args(
+            ["compare", "amazon", "--image-cache-dir", "/tmp/imgs"]
+        )
+        assert args.image_cache is True
+        assert args.image_cache_dir == "/tmp/imgs"
+
+    def test_perf_suite_flags_parse(self):
+        args = build_parser().parse_args(
+            ["perf", "--suite", "prepare", "--prepare-nodes", "512",
+             "--prepare-workload", "reddit", "--prepare-impl", "reference"]
+        )
+        assert args.suite == "prepare"
+        assert args.prepare_nodes == 512
+        assert args.prepare_workload == "reddit"
+        assert args.prepare_impl == "reference"
+        assert build_parser().parse_args(["perf"]).suite == "kernel"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "--suite", "nonsense"])
+
     def test_perf_subcommand_parses(self):
         args = build_parser().parse_args(
             ["perf", "--scale", "0.5", "--repeat", "2", "--no-end-to-end",
@@ -112,15 +136,20 @@ class TestOrchestrationCommands:
     BASE = ["--nodes", "256", "--batch", "8", "--batches", "1"]
 
     def test_compare_warm_cache_runs_nothing(self, capsys, tmp_path):
+        from repro.orchestrate.grid import _PREPARED_MEMO
+
+        _PREPARED_MEMO.clear()  # a memoized image would mask the build count
         argv = ["compare", "ogbn", *self.BASE, "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
         cold = capsys.readouterr().out
         assert "[8 simulated, 0 from cache]" in cold
+        # one distinct workload image behind the 8 cells
+        assert "[images: 1 built, 0 reused]" in cold
         assert main(argv + ["--jobs", "2"]) == 0
         warm = capsys.readouterr().out
         assert "[0 simulated, 8 from cache]" in warm
         # identical tables, modulo the cache summary line
-        assert cold.rsplit("[", 1)[0] == warm.rsplit("[", 1)[0]
+        assert cold.split("[", 1)[0] == warm.split("[", 1)[0]
 
     def test_run_without_cache(self, capsys):
         assert main(["run", "bg2", "ogbn", *self.BASE, "--no-cache"]) == 0
@@ -151,6 +180,41 @@ class TestOrchestrationCommands:
     def test_cache_prune_requires_policy(self, capsys, tmp_path):
         assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
         assert "--keep-days" in capsys.readouterr().out
+
+    def test_cache_commands_cover_images(self, capsys, tmp_path):
+        main(["run", "bg2", "ogbn", *self.BASE, "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"image dir: {tmp_path}/images" in out
+        assert "images:    1" in out
+        assert main(
+            ["cache", "prune", "--cache-dir", str(tmp_path), "--max-mb", "0"]
+        ) == 0
+        assert "pruned 1 images" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cached images" in capsys.readouterr().out
+
+    def test_no_image_cache_writes_nothing(self, capsys, tmp_path):
+        assert main(
+            ["run", "bg2", "ogbn", *self.BASE, "--cache-dir", str(tmp_path),
+             "--no-image-cache"]
+        ) == 0
+        assert not (tmp_path / "images").exists()
+
+    def test_perf_prepare_suite_smoke(self, capsys, tmp_path):
+        out = tmp_path / "bench_prepare.json"
+        argv = [
+            "perf", "--suite", "prepare", "--prepare-nodes", "64",
+            "--repeat", "1", "--out", str(out),
+        ]
+        assert main(argv) == 0
+        assert "prepare_cold" in capsys.readouterr().out
+        assert out.exists()
+        # gates against its own numbers with a generous margin
+        assert main(
+            argv[:-2] + ["--check", str(out), "--max-regress", "0.999"]
+        ) == 0
 
     def test_perf_writes_report_and_gates(self, capsys, tmp_path):
         out = tmp_path / "bench.json"

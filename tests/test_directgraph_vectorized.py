@@ -1,0 +1,163 @@
+"""Bit-identity of the vectorized builder against the per-node reference.
+
+``repro.directgraph.builder`` is the vectorized production implementation;
+``repro.directgraph._reference`` retains the original per-node builder as
+the executable specification. Every plan field, page byte, and statistic
+must agree exactly — randomized over graph families and on the edge cases
+that shaped the planner (page-boundary fills, section-count pressure,
+hubs, zero-degree nodes, empty graphs).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.directgraph import AddressCodec, FormatSpec, build_directgraph
+from repro.directgraph._reference import build_directgraph_reference
+from repro.gnn import (
+    DenseFeatureTable,
+    Graph,
+    power_law_graph,
+    ring_of_cliques,
+    uniform_random_graph,
+)
+
+
+def spec_for(dim=4, page_size=512, growth_slots=0):
+    return FormatSpec(
+        page_size=page_size,
+        feature_dim=dim,
+        codec=AddressCodec(),
+        growth_slots=growth_slots,
+    )
+
+
+def assert_identical(graph, features, spec, serialize=True):
+    vec = build_directgraph(graph, features, spec, serialize=serialize)
+    ref = build_directgraph_reference(graph, features, spec, serialize=serialize)
+    assert vec.stats == ref.stats
+    assert vec.node_plans == ref.node_plans
+    assert vec.page_plans == ref.page_plans
+    if serialize:
+        assert vec.pages.keys() == ref.pages.keys()
+        for index in ref.pages:
+            assert vec.pages[index] == ref.pages[index], f"page {index} differs"
+    else:
+        assert vec.pages is None and ref.pages is None
+
+
+def build_inputs(graph, dim=4, page_size=512, growth_slots=0):
+    features = DenseFeatureTable.random(graph.num_nodes, dim, seed=0)
+    return features, spec_for(dim, page_size, growth_slots)
+
+
+class TestRandomizedFamilies:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nodes=st.integers(min_value=1, max_value=220),
+        degree=st.floats(min_value=0.5, max_value=60.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_uniform_random(self, nodes, degree, seed):
+        graph = uniform_random_graph(nodes, min(degree, nodes), seed=seed)
+        features, spec = build_inputs(graph)
+        assert_identical(graph, features, spec)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nodes=st.integers(min_value=2, max_value=220),
+        degree=st.floats(min_value=1.0, max_value=80.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_power_law(self, nodes, degree, seed):
+        graph = power_law_graph(nodes, min(degree, nodes - 1), seed=seed)
+        features, spec = build_inputs(graph, page_size=1024)
+        assert_identical(graph, features, spec)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        cliques=st.integers(min_value=1, max_value=12),
+        size=st.integers(min_value=2, max_value=14),
+    )
+    def test_ring_of_cliques(self, cliques, size):
+        graph = ring_of_cliques(cliques, size)
+        features, spec = build_inputs(graph)
+        assert_identical(graph, features, spec)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_growth_slots_and_small_pages(self, seed):
+        graph = power_law_graph(150, 40.0, seed=seed)
+        features, spec = build_inputs(graph, page_size=1024, growth_slots=2)
+        assert_identical(graph, features, spec)
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        graph = Graph.from_neighbor_lists([])
+        features, spec = build_inputs(graph)
+        assert_identical(graph, features, spec)
+
+    def test_degree_zero_nodes(self):
+        graph = Graph.from_neighbor_lists([[], [0], [], []])
+        features, spec = build_inputs(graph)
+        assert_identical(graph, features, spec)
+
+    def test_hub_node_spills(self):
+        lists = [[j % 40 for j in range(399)]] + [[0]] * 39
+        graph = Graph.from_neighbor_lists(lists)
+        features, spec = build_inputs(graph)
+        assert_identical(graph, features, spec)
+
+    def test_page_boundary_exact_fill(self):
+        # degrees chosen so inline sections land exactly on page edges
+        base = spec_for()
+        payload = base.page_payload_bytes
+        per_node = base.primary_section_bytes(0, 0)
+        fit = (payload - per_node) // 4  # neighbors that exactly fill one section
+        lists = [[j % 8 for j in range(fit)] for _ in range(8)]
+        graph = Graph.from_neighbor_lists(lists)
+        features, spec = build_inputs(graph)
+        assert_identical(graph, features, spec)
+
+    def test_max_sections_pressure(self):
+        # tiny feature vector -> many sections compete for the section-id space
+        graph = uniform_random_graph(300, 3.0, seed=9)
+        features = DenseFeatureTable.random(graph.num_nodes, 1, seed=0)
+        spec = FormatSpec(page_size=512, feature_dim=1, codec=AddressCodec(28, 4))
+        assert_identical(graph, features, spec)
+
+    def test_plan_only(self):
+        graph = power_law_graph(200, 30.0, seed=3)
+        features, spec = build_inputs(graph, page_size=1024)
+        assert_identical(graph, features, spec, serialize=False)
+
+    def test_procedural_features_roundtrip(self):
+        from repro.gnn import ProceduralFeatureTable
+
+        graph = uniform_random_graph(120, 8.0, seed=4)
+        features = ProceduralFeatureTable(graph.num_nodes, 16, seed=7)
+        assert_identical(graph, features, spec_for(dim=16))
+
+    def test_open_page_limit_respected(self):
+        graph = power_law_graph(400, 60.0, seed=11)
+        features, spec = build_inputs(graph, page_size=1024)
+        vec = build_directgraph(graph, features, spec, open_page_limit=4)
+        ref = build_directgraph_reference(
+            graph, features, spec, open_page_limit=4
+        )
+        assert vec.stats == ref.stats
+        assert vec.pages == ref.pages
+
+
+class TestBuildCounter:
+    def test_counter_increments_per_build(self):
+        from repro.directgraph import BUILD_COUNTER
+
+        graph = uniform_random_graph(30, 2.0, seed=0)
+        features, spec = build_inputs(graph)
+        BUILD_COUNTER.reset()
+        build_directgraph(graph, features, spec)
+        build_directgraph(graph, features, spec, serialize=False)
+        assert BUILD_COUNTER.count == 2

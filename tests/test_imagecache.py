@@ -1,0 +1,152 @@
+"""Tests for the content-addressed DirectGraph image cache."""
+
+import numpy as np
+import pytest
+
+from repro.directgraph import (
+    BUILD_COUNTER,
+    AddressCodec,
+    FormatSpec,
+    ImageCache,
+    build_directgraph,
+    default_image_cache_dir,
+)
+from repro.directgraph.imagecache import COUNTERS
+from repro.platforms import PreparedWorkload
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture()
+def spec():
+    return workload_by_name("amazon").scaled(128)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ImageCache(tmp_path / "images")
+
+
+def prepare(spec, cache=None, page_size=4096):
+    return PreparedWorkload.prepare(spec, page_size=page_size, image_cache=cache)
+
+
+def fmt_for(spec, page_size=4096):
+    return FormatSpec(
+        page_size=page_size,
+        feature_dim=spec.feature_dim,
+        codec=AddressCodec.for_geometry(1 << 40, page_size),
+    )
+
+
+class TestRoundtrip:
+    def test_entry_reconstructs_graph_and_image(self, spec, cache):
+        cold = prepare(spec, cache)
+        key = cache.key_for(spec, 4096, fmt_for(spec))
+        assert key in cache
+        entry = cache.get(key)
+        assert entry is not None
+        np.testing.assert_array_equal(entry.graph.indptr, cold.graph.indptr)
+        np.testing.assert_array_equal(entry.graph.indices, cold.graph.indices)
+        assert entry.image.stats == cold.image.stats
+        assert entry.image.node_plans == cold.image.node_plans
+        assert entry.image.page_plans == cold.image.page_plans
+        assert entry.image.pages == cold.image.pages
+
+    def test_warm_prepare_equals_cold_prepare(self, spec, cache):
+        cold = prepare(spec, cache)
+        warm = prepare(spec, cache)
+        assert warm.image.pages == cold.image.pages
+        assert warm.image.node_plans == cold.image.node_plans
+        np.testing.assert_array_equal(
+            warm.features.vector(0), cold.features.vector(0)
+        )
+
+    def test_plan_only_image_rejected(self, spec, cache):
+        graph = spec.build_graph()
+        image = build_directgraph(graph, None, fmt_for(spec), serialize=False)
+        with pytest.raises(ValueError, match="serialized"):
+            cache.put("somekey", graph, image)
+
+
+class TestKeys:
+    def test_key_sensitive_to_page_size(self, spec, cache):
+        a = cache.key_for(spec, 4096, fmt_for(spec, 4096))
+        b = cache.key_for(spec, 8192, fmt_for(spec, 8192))
+        assert a != b
+
+    def test_key_sensitive_to_workload(self, cache):
+        a_spec = workload_by_name("amazon").scaled(128)
+        b_spec = workload_by_name("reddit").scaled(128)
+        assert cache.key_for(a_spec, 4096, fmt_for(a_spec)) != cache.key_for(
+            b_spec, 4096, fmt_for(b_spec)
+        )
+
+    def test_key_stable_across_instances(self, spec, tmp_path):
+        a = ImageCache(tmp_path / "a").key_for(spec, 4096, fmt_for(spec))
+        b = ImageCache(tmp_path / "b").key_for(spec, 4096, fmt_for(spec))
+        assert a == b
+
+
+class TestCounters:
+    def test_miss_store_hit_sequence(self, spec, cache):
+        cache.counters.reset()
+        COUNTERS.reset()
+        prepare(spec, cache)  # miss + store
+        prepare(spec, cache)  # hit
+        assert cache.counters.as_dict() == {"hits": 1, "misses": 1, "stores": 1}
+        assert COUNTERS.hits == 1 and COUNTERS.misses == 1 and COUNTERS.stores == 1
+
+    def test_cache_hit_skips_builder(self, spec, cache):
+        prepare(spec, cache)
+        BUILD_COUNTER.reset()
+        prepare(spec, cache)
+        assert BUILD_COUNTER.count == 0
+
+    def test_no_cache_always_builds(self, spec):
+        BUILD_COUNTER.reset()
+        prepare(spec, None)
+        prepare(spec, None)
+        assert BUILD_COUNTER.count == 2
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_rebuilds(self, spec, cache):
+        prepare(spec, cache)
+        key = cache.key_for(spec, 4096, fmt_for(spec))
+        cache.path_for(key).write_bytes(b"not an npz file")
+        cache.counters.reset()
+        warm = prepare(spec, cache)  # miss -> rebuild -> store
+        assert warm.image.pages is not None
+        assert cache.counters.misses == 1
+        assert cache.counters.stores == 1
+        assert cache.get(key) is not None  # repaired on the way through
+
+    def test_absent_key_is_none(self, cache):
+        assert cache.get("deadbeef") is None
+        assert "deadbeef" not in cache
+
+
+class TestMaintenance:
+    def test_stats_clear(self, spec, cache):
+        prepare(spec, cache)
+        stats = cache.stats()
+        assert stats.entries == 1 and stats.total_bytes > 0
+        assert cache.clear() == 1
+        assert cache.stats().entries == 0
+
+    def test_prune_age_and_size(self, spec, cache):
+        prepare(spec, cache)
+        assert cache.prune(keep_days=30) == 0  # fresh entry survives
+        assert cache.prune(max_mb=0) == 1  # zero budget evicts
+        assert cache.stats().entries == 0
+
+
+class TestCoerce:
+    def test_coerce_semantics(self, tmp_path):
+        assert ImageCache.coerce(None) is None
+        assert ImageCache.coerce(False) is None
+        made = ImageCache.coerce(tmp_path / "x")
+        assert isinstance(made, ImageCache)
+        assert ImageCache.coerce(made) is made
+        default = ImageCache.coerce(True)
+        assert default.root == default_image_cache_dir()

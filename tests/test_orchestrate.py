@@ -13,6 +13,7 @@ from repro.orchestrate import (
     cell_cache_key,
     derive_cell_seed,
     load_cached,
+    outcome_from_cache,
     result_from_payload,
     result_to_payload,
     run_grid,
@@ -229,3 +230,89 @@ class TestRunGrid:
 
         outcome = platform_run_grid(tiny_cells(platforms=("bg2",)), jobs=1)
         assert outcome.results[0].platform == "bg2"
+
+
+class TestImageSharing:
+    def test_repeated_grids_build_zero_images(self, tmp_path):
+        """Across grid runs, each distinct workload image is built once."""
+        from repro.directgraph import BUILD_COUNTER
+        from repro.orchestrate.grid import _PREPARED_MEMO
+
+        cache = ResultCache(tmp_path)
+        _PREPARED_MEMO.clear()
+        cold = run_grid(tiny_cells(platforms=("bg2", "cc")), jobs=1, cache=cache)
+        # 2 cells, 1 distinct (workload, page_size) -> exactly one build
+        assert cold.images_built == 1
+        # evict the in-memory memo so only the disk image cache can serve
+        _PREPARED_MEMO.clear()
+        BUILD_COUNTER.reset()
+        resimulated = run_grid(
+            tiny_cells(platforms=("bg2", "cc"), seed=123), jobs=1, cache=cache
+        )
+        assert resimulated.executed == 2  # new seed -> result-cache misses
+        assert BUILD_COUNTER.count == 0  # ...but zero DirectGraph builds
+        assert resimulated.images_built == 0
+        assert resimulated.image_hits >= 1
+
+    def test_warm_result_cache_touches_no_images(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = tiny_cells()
+        run_grid(cells, jobs=1, cache=cache)
+        warm = run_grid(cells, jobs=1, cache=cache)
+        assert warm.executed == 0
+        assert warm.images_built == 0 and warm.image_hits == 0
+
+    def test_image_cache_derives_from_result_cache(self, tmp_path):
+        from repro.orchestrate.grid import _PREPARED_MEMO
+
+        cache = ResultCache(tmp_path)
+        _PREPARED_MEMO.clear()  # a memo hit would skip the disk store
+        run_grid(tiny_cells(platforms=("bg2",)), jobs=1, cache=cache)
+        assert list((tmp_path / "images").glob("*.npz"))
+
+    def test_image_cache_opt_out(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid(
+            tiny_cells(platforms=("bg2",)), jobs=1, cache=cache, image_cache=False
+        )
+        assert not (tmp_path / "images").exists()
+
+    def test_prepared_memo_is_bounded(self):
+        from repro.orchestrate.grid import (
+            _PREPARED_MEMO,
+            _PREPARED_MEMO_MAX,
+            _prepared_for,
+        )
+
+        _PREPARED_MEMO.clear()
+        base = workload_by_name("ogbn")
+        for nodes in range(64, 64 + _PREPARED_MEMO_MAX + 4):
+            _prepared_for(base.scaled(nodes), 4096)
+        assert len(_PREPARED_MEMO) == _PREPARED_MEMO_MAX
+
+
+class TestOutcomeFromCache:
+    def test_renders_a_finished_sweep(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = tiny_cells(platforms=("bg2", "cc"))
+        cold = run_grid(cells, jobs=1, cache=cache)
+        rendered = outcome_from_cache(cells, cache)
+        assert rendered.executed == 0
+        assert rendered.cache_hits == len(cells)
+        assert rendered.images_built == 0 and rendered.image_hits == 0
+        assert all(rendered.from_cache)
+        assert [r.to_dict() for r in rendered.results] == [
+            r.to_dict() for r in cold.results
+        ]
+
+    def test_miss_raises_naming_the_cells(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(KeyError, match=r"bg2/ogbn"):
+            outcome_from_cache(tiny_cells(platforms=("bg2",)), cache)
+
+    def test_partial_miss_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, miss = tiny_cells(platforms=("bg2", "cc"))
+        run_grid([hit], jobs=1, cache=cache)
+        with pytest.raises(KeyError, match=r"1 of 2 cells"):
+            outcome_from_cache([hit, miss], cache)
