@@ -1,0 +1,78 @@
+"""Section VIII: sharded storage arrays with measured cross-partition exchange.
+
+Unlike ``bench_sec8_extensions`` (weak scaling under the analytic traffic
+model), this harness strong-scales one array batch across 1/2/4 SSDs:
+each device serves its hash-partition slice on its own counter stream,
+and the P2P exchange is sized from the shards' measured sampling traces.
+Array documents and per-shard runs both flow through the session result
+cache, so ``--from-cache`` re-renders the figure with zero simulations.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.platforms import scaleout_outcome
+from repro.workloads import workload_by_name
+
+
+def test_scaleout_sharded_array(
+    benchmark, bench_env, grid_cache, image_cache, bench_from_cache
+):
+    spec = workload_by_name("amazon").scaled(bench_env.nodes)
+
+    def experiment():
+        outcomes = []
+        for devices in (1, 2, 4):
+            outcomes.append(
+                scaleout_outcome(
+                    devices,
+                    "bg2",
+                    spec,
+                    batch_size=bench_env.batch,
+                    num_batches=bench_env.nbatch,
+                    jobs=bench_env.jobs,
+                    cache=grid_cache,
+                    image_cache=image_cache,
+                    require_cached=bench_from_cache,
+                )
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    single = outcomes[0].result
+    rows = [
+        (
+            array.num_devices,
+            f"{array.throughput_targets_per_sec:,.0f}",
+            round(array.scaling_efficiency(single), 2),
+            round(array.p2p_seconds_per_batch * 1e6, 1),
+            f"{100 * array.measured_remote_fraction:.1f}%",
+        )
+        for array in (o.result for o in outcomes)
+    ]
+    print()
+    print(
+        format_table(
+            ["SSDs", "targets/s", "efficiency", "P2P us/batch", "remote"],
+            rows,
+            title=(
+                "Section VIII: sharded bg2 array on amazon "
+                f"(batch {bench_env.batch}, measured exchange)"
+            ),
+        )
+    )
+    for outcome in outcomes:
+        array = outcome.result
+        # the exchange conserves vectors: per-link sends == per-shard remotes
+        assert sum(sum(row) for row in array.link_vectors) == sum(
+            array.remote_samples
+        )
+        # the sharded batch serves exactly the array batch, never more
+        assert array.total_targets == bench_env.batch * bench_env.nbatch
+    thr = {
+        o.result.num_devices: o.result.throughput_targets_per_sec
+        for o in outcomes
+    }
+    # strong scaling: shrinking shards keep outpacing the exchange cost
+    assert thr[2] > thr[1]
+    assert thr[4] > thr[2]

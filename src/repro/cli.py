@@ -5,12 +5,14 @@ Subcommands
 ``run``      simulate one platform on one workload
 ``compare``  run all platforms on one workload (mini Figure 14)
 ``sweep``    sweep one architecture knob (a Figure 18 slice)
+``scaleout`` sharded N-SSD array simulation (Section VIII)
 ``inflate``  DirectGraph storage-inflation report (Table IV)
 ``info``     print the Table II configuration and platform list
 ``cache``    result/image-cache maintenance (``stats`` / ``clear`` / ``prune``)
 ``perf``     microbenchmark suites (BENCH_kernel.json / BENCH_prepare.json)
 
-``run``/``compare``/``sweep`` all go through :func:`repro.orchestrate.run_grid`:
+``run``/``compare``/``sweep``/``scaleout`` all go through
+:func:`repro.orchestrate.run_grid`:
 ``--jobs N`` fans the grid across N worker processes, and the
 content-addressed result cache (``--cache-dir``, default ``~/.cache/repro``)
 makes repeated invocations skip already-simulated cells; ``--no-cache``
@@ -65,6 +67,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--platforms", default="bg1,bg_dgsp,bg2", help="comma-separated names"
     )
     _common_run_args(sweep)
+
+    scaleout = sub.add_parser(
+        "scaleout", help="sharded N-SSD array simulation (Section VIII)"
+    )
+    scaleout.add_argument(
+        "--devices", default="1,2,4", help="comma-separated array sizes"
+    )
+    scaleout.add_argument("--platform", default="bg2")
+    scaleout.add_argument("--workload", default="amazon")
+    scaleout.add_argument(
+        "--fraction",
+        type=float,
+        default=None,
+        help="analytic cross-partition fraction "
+        "(default: measure remote traffic from the sampling traces)",
+    )
+    scaleout.add_argument(
+        "--from-cache",
+        action="store_true",
+        help="load cached array results only; fail instead of simulating",
+    )
+    _common_run_args(scaleout)
 
     inflate = sub.add_parser("inflate", help="Table IV inflation report")
     inflate.add_argument("--nodes", type=int, default=60_000)
@@ -341,6 +365,78 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_scaleout(args) -> int:
+    from .platforms.scaleout import scaleout_outcome
+
+    device_counts = [int(v) for v in args.devices.split(",")]
+    spec = workload_by_name(args.workload)
+    if spec.num_nodes > args.nodes:
+        spec = spec.scaled(args.nodes)
+    cache = _result_cache(args)
+    image_cache = _image_cache(args)
+    outcomes = []
+    for devices in device_counts:
+        try:
+            outcomes.append(
+                scaleout_outcome(
+                    devices,
+                    args.platform,
+                    spec,
+                    batch_size=args.batch,
+                    num_batches=args.batches,
+                    num_hops=args.hops,
+                    fanout=args.fanout,
+                    cross_partition_fraction=args.fraction,
+                    ssd_config=_config(args),
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    cache=cache,
+                    image_cache=image_cache,
+                    require_cached=args.from_cache,
+                )
+            )
+        except KeyError as err:
+            print(err.args[0])
+            return 2
+    single = outcomes[0].result
+    rows = []
+    for outcome in outcomes:
+        array = outcome.result
+        rows.append(
+            (
+                array.num_devices,
+                f"{array.throughput_targets_per_sec:,.0f}",
+                round(array.scaling_efficiency(single), 2),
+                round(array.p2p_seconds_per_batch * 1e6, 1),
+                f"{100 * array.measured_remote_fraction:.1f}%",
+            )
+        )
+    mode = "analytic" if args.fraction is not None else "measured"
+    print(
+        format_table(
+            ["SSDs", "targets/s", "efficiency", "P2P us/batch", "remote"],
+            rows,
+            title=(
+                f"{args.platform} array on {args.workload} "
+                f"(batch {args.batch}, {mode} exchange)"
+            ),
+        )
+    )
+    executed = sum(o.shards_executed for o in outcomes)
+    shard_hits = sum(o.shard_cache_hits for o in outcomes)
+    array_hits = sum(1 for o in outcomes if o.from_cache)
+    summary = (
+        f"[{executed} simulated, {shard_hits} from cache, "
+        f"{array_hits}/{len(outcomes)} arrays from cache]"
+    )
+    images_built = sum(o.images_built for o in outcomes)
+    image_hits = sum(o.image_hits for o in outcomes)
+    if images_built or image_hits:
+        summary += f" [images: {images_built} built, {image_hits} reused]"
+    print(summary)
+    return 0
+
+
 def cmd_cache(args) -> int:
     from pathlib import Path
 
@@ -494,6 +590,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "scaleout": cmd_scaleout,
         "inflate": cmd_inflate,
         "info": cmd_info,
         "cache": cmd_cache,

@@ -10,6 +10,7 @@ from .cache import CacheStats, ResultCache, default_cache_dir, stable_hash
 from .grid import (
     GridCell,
     GridOutcome,
+    adopt_prepared,
     cell_cache_key,
     derive_cell_seed,
     load_cached,
@@ -18,8 +19,11 @@ from .grid import (
 )
 from .serialize import (
     RESULT_SCHEMA_VERSION,
+    SCALEOUT_SCHEMA_VERSION,
     result_from_payload,
     result_to_payload,
+    scaleout_from_payload,
+    scaleout_to_payload,
 )
 
 __all__ = [
@@ -28,6 +32,7 @@ __all__ = [
     "run_grid",
     "load_cached",
     "outcome_from_cache",
+    "adopt_prepared",
     "derive_cell_seed",
     "cell_cache_key",
     "ResultCache",
@@ -37,4 +42,7 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "result_to_payload",
     "result_from_payload",
+    "SCALEOUT_SCHEMA_VERSION",
+    "scaleout_to_payload",
+    "scaleout_from_payload",
 ]

@@ -31,7 +31,7 @@ from ..platforms.features import PlatformFeatures
 from ..platforms.registry import platform_by_name
 from ..platforms.result import RunResult
 from ..platforms.runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_platform
-from ..rng import counter_draw
+from ..rng import stream_seed
 from ..ssd.config import SSDConfig, ull_ssd
 from ..workloads.registry import workload_by_name
 from ..workloads.specs import WorkloadSpec
@@ -50,6 +50,7 @@ __all__ = [
     "outcome_from_cache",
     "derive_cell_seed",
     "cell_cache_key",
+    "adopt_prepared",
 ]
 
 
@@ -74,6 +75,7 @@ class GridCell:
     seed: Optional[int] = None
     scaled_nodes: int = DEFAULT_SCALED_NODES
     pipeline_overlap: bool = True
+    sample_trace: bool = False
 
     def resolved_platform(self) -> PlatformFeatures:
         if isinstance(self.platform, PlatformFeatures):
@@ -93,7 +95,7 @@ class GridCell:
         return self.ssd_config or ull_ssd()
 
     def run_params(self, seed: int) -> Dict:
-        return {
+        params = {
             "batch_size": self.batch_size,
             "num_batches": self.num_batches,
             "num_hops": self.num_hops,
@@ -102,6 +104,12 @@ class GridCell:
             "seed": seed,
             "pipeline_overlap": self.pipeline_overlap,
         }
+        if self.sample_trace:
+            # included only when set: untraced cells keep their pre-trace
+            # cache keys, and traced cells (scale-out shards) never collide
+            # with an equal untraced run
+            params["sample_trace"] = True
+        return params
 
 
 def _cell_identity(cell: GridCell) -> Dict:
@@ -123,7 +131,7 @@ def derive_cell_seed(base_seed: int, cell: GridCell) -> int:
     """
     digest = stable_hash(_cell_identity(cell))
     key = int(digest[:16], 16)
-    return counter_draw(base_seed, key) >> 1  # keep it a positive int64
+    return stream_seed(base_seed, key)
 
 
 def cell_cache_key(cell: GridCell, seed: int) -> str:
@@ -163,6 +171,21 @@ def _backfill_image(
     key = cache.key_for(prepared.spec, page_size, prepared.image.spec)
     if key not in cache:
         cache.put(key, prepared.graph, prepared.image)
+
+
+def adopt_prepared(prepared: PreparedWorkload) -> None:
+    """Seed the in-process prepared-workload memo with an existing image.
+
+    Callers that already hold a :class:`PreparedWorkload` (benchmark
+    harnesses, :func:`repro.platforms.scaleout.run_scaleout`) adopt it so
+    a grid over the same (spec, page_size) never rebuilds — the serial
+    path and fork workers hit the memo directly.
+    """
+    key = (prepared.spec, prepared.image.spec.page_size)
+    _PREPARED_MEMO[key] = prepared
+    _PREPARED_MEMO.move_to_end(key)
+    while len(_PREPARED_MEMO) > _PREPARED_MEMO_MAX:
+        _PREPARED_MEMO.popitem(last=False)
 
 
 def _prepared_for(

@@ -15,9 +15,17 @@ from typing import Dict
 from ..platforms.result import RunResult
 from .cache import json_default
 
-__all__ = ["RESULT_SCHEMA_VERSION", "result_to_payload", "result_from_payload"]
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "result_to_payload",
+    "result_from_payload",
+    "SCALEOUT_SCHEMA_VERSION",
+    "scaleout_to_payload",
+    "scaleout_from_payload",
+]
 
 RESULT_SCHEMA_VERSION = 1
+SCALEOUT_SCHEMA_VERSION = 1
 
 
 def result_to_payload(result: RunResult) -> Dict:
@@ -37,3 +45,25 @@ def result_from_payload(payload: Dict) -> RunResult:
             f"(expected {RESULT_SCHEMA_VERSION})"
         )
     return RunResult.from_dict(payload["result"])
+
+
+def scaleout_to_payload(result) -> Dict:
+    """Envelope around :meth:`ScaleOutResult.to_dict`; plain JSON types."""
+    doc = {
+        "schema": SCALEOUT_SCHEMA_VERSION,
+        "kind": "scaleout",
+        "scaleout": result.to_dict(),
+    }
+    return json.loads(json.dumps(doc, default=json_default))
+
+
+def scaleout_from_payload(payload: Dict):
+    from ..platforms.scaleout import ScaleOutResult
+
+    schema = payload.get("schema")
+    if schema != SCALEOUT_SCHEMA_VERSION or "scaleout" not in payload:
+        raise ValueError(
+            f"unsupported scale-out payload (schema {schema!r}, "
+            f"expected {SCALEOUT_SCHEMA_VERSION})"
+        )
+    return ScaleOutResult.from_dict(payload["scaleout"])

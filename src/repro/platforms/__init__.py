@@ -8,7 +8,15 @@ from .query import QueryLatencyResult, measure_query_latency
 from .registry import BG_ORDER, PLATFORMS, platform_by_name, platform_names
 from .result import BatchTiming, RunResult
 from .runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_grid, run_platform
-from .scaleout import P2pLink, ScaleOutResult, run_scaleout
+from .scaleout import (
+    P2pLink,
+    ScaleOutOutcome,
+    ScaleOutResult,
+    partition_nodes,
+    run_scaleout,
+    scaleout_outcome,
+    shard_batch_sizes,
+)
 
 __all__ = [
     "PLATFORMS",
@@ -29,8 +37,12 @@ __all__ = [
     "PreparedWorkload",
     "DEFAULT_SCALED_NODES",
     "run_scaleout",
+    "scaleout_outcome",
     "ScaleOutResult",
+    "ScaleOutOutcome",
     "P2pLink",
+    "partition_nodes",
+    "shard_batch_sizes",
     "measure_query_latency",
     "QueryLatencyResult",
 ]

@@ -81,13 +81,24 @@ class DataPrepEngine:
         platform: PlatformFeatures,
         image: DirectGraphImage,
         task: GnnTaskConfig,
+        trace_samples: bool = False,
     ) -> None:
+        """``trace_samples=True`` records every sampled tree position —
+        ``[target, position, node_id, depth]`` per mini-batch, canonically
+        sorted — in :attr:`sample_traces`. The scale-out array model maps
+        these node ids onto its shard-ownership hash to measure real
+        cross-partition traffic; tracing is pure bookkeeping and never
+        touches simulated time."""
         self.sim = sim
         self.ssd_config = ssd_config
         self.platform = platform
         self.image = image
         self.task = task
         self.sampler = DieSampler(image.spec, task)
+        self.sample_traces: Optional[List[List[List[int]]]] = (
+            [] if trace_samples else None
+        )
+        self._trace: Optional[List[List[int]]] = None
         self.device = SsdDevice(sim, ssd_config, self._die_executor)
         self.channel_parsers = [
             Resource(sim, capacity=1, name=f"parser{c}")
@@ -127,7 +138,14 @@ class DataPrepEngine:
         """Synthetic feature-table page for non-DirectGraph layouts."""
         return self._feature_region_base + node_id // self._vectors_per_page
 
+    def _trace_sample(
+        self, target: int, position: int, node_id: int, depth: int
+    ) -> None:
+        if self._trace is not None:
+            self._trace.append([int(target), int(position), int(node_id), int(depth)])
+
     def _make_root(self, target: int) -> PrepCommand:
+        self._trace_sample(target, 0, target, 0)
         sampling = SamplingCommand(
             kind=CommandKind.SAMPLE_PRIMARY,
             address=self.image.address_of(target),
@@ -333,6 +351,14 @@ class DataPrepEngine:
         feature_step = self.task.num_hops + 1
         secondary_pages_read = set()
         for sub in result.children:
+            if self._trace is not None and sub.kind != CommandKind.SAMPLE_SECONDARY:
+                # every sampled tree position (depth >= 1) appears exactly
+                # once as a SAMPLE_PRIMARY / FETCH_FEATURE child across all
+                # results — secondary reads re-emit the same hop's overflow
+                # draws and are resolved by their own children
+                self._trace_sample(
+                    sub.target, sub.position, self.image.node_at(sub.address), sub.hop
+                )
             if (
                 sub.kind == CommandKind.FETCH_FEATURE
                 and not self.platform.feature_in_primary
@@ -416,6 +442,12 @@ class DataPrepEngine:
     def prepare_batch(self, targets: List[int]):
         """Process generator: full data preparation of one mini-batch."""
         self.hop_timelines.append(HopTimeline())
+        if self.sample_traces is not None:
+            # batch preparations serialize on the flash backend (the
+            # pipeline only overlaps prep with *compute*), so one current
+            # trace list at a time is safe
+            self._trace = []
+            self.sample_traces.append(self._trace)
         self.in_acceleration = True
         if self._accel_done.triggered:
             self._accel_done = self.sim.event()
@@ -425,6 +457,9 @@ class DataPrepEngine:
             else:
                 yield from self._prepare_streaming(targets)
         finally:
+            if self._trace is not None:
+                self._trace.sort()  # canonical (target, position) order
+                self._trace = None
             self.in_acceleration = False
             done, self._accel_done = self._accel_done, self.sim.event()
             done.succeed()

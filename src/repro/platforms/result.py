@@ -54,6 +54,11 @@ class RunResult:
     firmware_busy_seconds: float = 0.0
     energy_breakdown: Dict[str, float] = field(default_factory=dict)
     background_io: Optional[object] = None  # BackgroundIoStats when enabled
+    # Per-batch sampled tree positions ([target, position, node_id, depth],
+    # canonically sorted), captured only when run_platform(sample_trace=True).
+    # The scale-out sharding model derives measured cross-partition traffic
+    # from these node ids.
+    sample_trace: Optional[List[List[List[int]]]] = None
 
     # -- headline metrics ------------------------------------------------------
 
@@ -158,7 +163,7 @@ class RunResult:
         plot-ready view), this round-trips every instrument so a restored
         result answers every derived query identically.
         """
-        return {
+        data = {
             "platform": self.platform,
             "workload": self.workload,
             "batch_size": self.batch_size,
@@ -178,6 +183,11 @@ class RunResult:
                 else None
             ),
         }
+        if self.sample_trace is not None:
+            # key present only when traced: untraced payloads stay
+            # byte-identical to the pre-trace schema (golden digests)
+            data["sample_trace"] = self.sample_trace
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunResult":
@@ -203,4 +213,5 @@ class RunResult:
             firmware_busy_seconds=float(data["firmware_busy_seconds"]),
             energy_breakdown=dict(data["energy_breakdown"]),
             background_io=background_io,
+            sample_trace=data.get("sample_trace"),
         )

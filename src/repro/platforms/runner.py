@@ -122,11 +122,18 @@ def run_platform(
     energy_coefficients: Optional[EnergyCoefficients] = None,
     pipeline_overlap: bool = True,
     background_io: Optional["BackgroundIoConfig"] = None,
+    sample_trace: bool = False,
 ) -> RunResult:
     """Simulate ``num_batches`` pipelined mini-batches on one platform.
 
     ``workload`` may be a raw :class:`WorkloadSpec` (it is scaled to
     ``scaled_nodes`` and instantiated) or an already-:class:`PreparedWorkload`.
+
+    ``sample_trace=True`` additionally records every sampled tree position
+    per batch on ``result.sample_trace`` (see
+    :class:`~repro.platforms.datapath.DataPrepEngine`); the scale-out
+    array model uses it to measure cross-partition traffic. Tracing never
+    changes simulated timing.
     """
     if isinstance(platform, str):
         platform = platform_by_name(platform)
@@ -149,7 +156,9 @@ def run_platform(
         seed=seed,
     )
     sim = Simulator()
-    prep = DataPrepEngine(sim, config, platform, prepared.image, task)
+    prep = DataPrepEngine(
+        sim, config, platform, prepared.image, task, trace_samples=sample_trace
+    )
     compute = ComputeEngine(
         sim, prep.device, platform, task, hidden_dim, prep.meters
     )
@@ -204,6 +213,8 @@ def run_platform(
     result.meters.totals["targets_per_joule"] = report.targets_per_joule
     if injector is not None:
         result.background_io = injector.stats
+    if sample_trace:
+        result.sample_trace = prep.sample_traces
     return result
 
 

@@ -3,33 +3,64 @@ proof").
 
 The paper projects that multiple BeaconGNN SSDs connected by direct P2P
 links scale storage capacity and computation linearly. We model an
-N-device array:
+N-device array as a genuinely *sharded* simulation:
 
-* the graph is hash-partitioned across devices; each device stores its
-  shard as an independent DirectGraph and serves the mini-batch targets
-  that hash to it;
-* a fraction of sampled neighbors land on a *remote* shard
-  (``cross_partition_fraction``); their primary-section reads are served
-  locally on the owning device, but the sampled feature vectors cross the
-  P2P link to the device that owns the target;
-* every device runs the standard BeaconGNN pipeline; the array's batch
-  time is the slowest device plus its P2P transfer time.
+* the graph is hash-partitioned across devices (:func:`partition_nodes`,
+  a keyed ``counter_draw`` per node, so ownership is a pure function of
+  ``(seed, node)``);
+* each device serves its slice of the array batch
+  (:func:`shard_batch_sizes`; sizes differ by at most one and sum to
+  ``batch_size``) by running the standard BeaconGNN pipeline with its own
+  :func:`derive_shard_seed` counter stream, fanned out through
+  ``repro.orchestrate.run_grid`` — so shards run on worker processes,
+  flow through the content-addressed result cache, and are bit-identical
+  for ``jobs=1`` vs ``jobs=N``;
+* cross-partition traffic is *measured*: each shard's sampling trace
+  (``run_platform(sample_trace=True)``) names every sampled node, and
+  every sample owned by another device contributes one feature vector to
+  the per-link exchange matrix. The vectors drain over the array's P2P
+  links in a deterministic exchange round after the slowest device
+  finishes. Passing ``cross_partition_fraction`` instead selects the
+  legacy analytic traffic model (the two agree when the fraction equals
+  the measured remote ratio).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
+from .. import __version__
+from ..cacheutil import stable_hash
 from ..gnn.sampling import tree_capacity
+from ..rng import counter_draw, stream_seed
 from ..ssd.config import SSDConfig, ull_ssd
+from ..workloads.registry import workload_by_name
 from ..workloads.specs import WorkloadSpec
+from .features import PlatformFeatures
+from .registry import platform_by_name
 from .result import RunResult
-from .runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_platform
+from .runner import DEFAULT_SCALED_NODES, PreparedWorkload
 
-__all__ = ["P2pLink", "ScaleOutResult", "run_scaleout"]
+__all__ = [
+    "P2pLink",
+    "ScaleOutResult",
+    "ScaleOutOutcome",
+    "run_scaleout",
+    "scaleout_outcome",
+    "scaleout_cache_key",
+    "shard_of",
+    "partition_nodes",
+    "shard_batch_sizes",
+    "derive_shard_seed",
+]
 
 FP16_BYTES = 2
+
+# Distinct key-space salts: ownership draws and shard seed streams must
+# never collide with each other or with sampler draws from the same seed.
+_PARTITION_SALT = 0x5EED_0001
+_SHARD_SALT = 0x5EED_0002
 
 
 @dataclass(frozen=True)
@@ -40,17 +71,64 @@ class P2pLink:
     per_batch_sync_s: float = 5e-6  # array-level coordination per batch
 
 
+def shard_of(node: int, num_devices: int, seed: int) -> int:
+    """Owning device of ``node`` under the array's hash partition."""
+    return counter_draw(seed, _PARTITION_SALT, int(node)) % num_devices
+
+
+def partition_nodes(num_nodes: int, num_devices: int, seed: int) -> List[int]:
+    """Ownership map ``owner[node] -> device`` for every node."""
+    return [shard_of(node, num_devices, seed) for node in range(num_nodes)]
+
+
+def shard_batch_sizes(batch_size: int, num_devices: int) -> List[int]:
+    """Per-device target counts for one array batch.
+
+    Sizes differ by at most one and always sum to ``batch_size``: 64
+    targets on 3 devices serve ``[22, 21, 21]``. (The previous model
+    rounded every shard up — 3 x 22 = 66 — overcounting targets.)
+    """
+    base, rem = divmod(batch_size, num_devices)
+    return [base + 1 if s < rem else base for s in range(num_devices)]
+
+
+def derive_shard_seed(seed: int, shard: int) -> int:
+    """Deterministic per-shard seed, independent of jobs and run order."""
+    return stream_seed(seed, _SHARD_SALT, shard)
+
+
 @dataclass
 class ScaleOutResult:
-    """Aggregate behaviour of an N-SSD BeaconGNN array."""
+    """Aggregate behaviour of an N-SSD BeaconGNN array.
+
+    ``cross_partition_fraction`` is ``None`` when the P2P exchange was
+    sized from the measured per-shard sampling traces (the default), or
+    the analytic fraction the caller requested. The measured accounting
+    (``remote_samples``, ``link_vectors``, ``measured_remote_fraction``)
+    is recorded either way.
+    """
 
     num_devices: int
     per_device: List[RunResult]
-    cross_partition_fraction: float
+    shard_batch_sizes: List[int]
+    cross_partition_fraction: Optional[float]
+    measured_remote_fraction: float
+    remote_samples: List[int]
+    link_vectors: List[List[int]]
+    link: P2pLink
     p2p_seconds_per_batch: float
     batch_seconds: float
     total_targets: int
     total_seconds: float
+
+    @property
+    def mode(self) -> str:
+        return "analytic" if self.cross_partition_fraction is not None else "measured"
+
+    @property
+    def total_remote_vectors(self) -> int:
+        """Measured feature vectors that crossed a P2P link, all batches."""
+        return sum(self.remote_samples)
 
     @property
     def throughput_targets_per_sec(self) -> float:
@@ -65,79 +143,263 @@ class ScaleOutResult:
             return 0.0
         return self.throughput_targets_per_sec / ideal
 
+    # -- lossless serialization (result cache) ------------------------------
 
-def run_scaleout(
+    def to_dict(self) -> Dict:
+        return {
+            "num_devices": self.num_devices,
+            "per_device": [r.to_dict() for r in self.per_device],
+            "shard_batch_sizes": list(self.shard_batch_sizes),
+            "cross_partition_fraction": self.cross_partition_fraction,
+            "measured_remote_fraction": self.measured_remote_fraction,
+            "remote_samples": list(self.remote_samples),
+            "link_vectors": [list(row) for row in self.link_vectors],
+            "link": {
+                "bandwidth_bps": self.link.bandwidth_bps,
+                "per_batch_sync_s": self.link.per_batch_sync_s,
+            },
+            "p2p_seconds_per_batch": self.p2p_seconds_per_batch,
+            "batch_seconds": self.batch_seconds,
+            "total_targets": self.total_targets,
+            "total_seconds": self.total_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScaleOutResult":
+        fraction = data["cross_partition_fraction"]
+        return cls(
+            num_devices=int(data["num_devices"]),
+            per_device=[RunResult.from_dict(r) for r in data["per_device"]],
+            shard_batch_sizes=[int(s) for s in data["shard_batch_sizes"]],
+            cross_partition_fraction=None if fraction is None else float(fraction),
+            measured_remote_fraction=float(data["measured_remote_fraction"]),
+            remote_samples=[int(v) for v in data["remote_samples"]],
+            link_vectors=[[int(v) for v in row] for row in data["link_vectors"]],
+            link=P2pLink(
+                bandwidth_bps=float(data["link"]["bandwidth_bps"]),
+                per_batch_sync_s=float(data["link"]["per_batch_sync_s"]),
+            ),
+            p2p_seconds_per_batch=float(data["p2p_seconds_per_batch"]),
+            batch_seconds=float(data["batch_seconds"]),
+            total_targets=int(data["total_targets"]),
+            total_seconds=float(data["total_seconds"]),
+        )
+
+
+@dataclass
+class ScaleOutOutcome:
+    """A scale-out run plus its cache accounting.
+
+    ``shards_executed``/``shard_cache_hits`` report the underlying grid's
+    per-shard cells; ``from_cache`` means the whole array result came off
+    the scale-out document and zero shards were even consulted.
+    """
+
+    result: ScaleOutResult
+    key: str
+    from_cache: bool
+    shards_executed: int = 0
+    shard_cache_hits: int = 0
+    images_built: int = 0
+    image_hits: int = 0
+
+
+def scaleout_cache_key(
     num_devices: int,
-    platform: str,
-    workload: Union[WorkloadSpec, PreparedWorkload],
+    platform: PlatformFeatures,
+    spec: WorkloadSpec,
+    config: SSDConfig,
+    *,
+    batch_size: int,
+    num_batches: int,
+    num_hops: int,
+    fanout: int,
+    cross_partition_fraction: Optional[float],
+    link: P2pLink,
+    seed: int,
+) -> str:
+    """Content-addressed cache key for one array configuration."""
+    from ..orchestrate.serialize import SCALEOUT_SCHEMA_VERSION
+
+    return stable_hash(
+        {
+            "kind": "scaleout",
+            "schema": SCALEOUT_SCHEMA_VERSION,
+            "code_version": __version__,
+            "platform": platform,
+            "workload": spec,
+            "ssd_config": config,
+            "link": link,
+            "run": {
+                "num_devices": num_devices,
+                "batch_size": batch_size,
+                "num_batches": num_batches,
+                "num_hops": num_hops,
+                "fanout": fanout,
+                "cross_partition_fraction": cross_partition_fraction,
+                "seed": seed,
+            },
+        }
+    )
+
+
+def scaleout_outcome(
+    num_devices: int,
+    platform: Union[str, PlatformFeatures],
+    workload: Union[str, WorkloadSpec, PreparedWorkload],
     *,
     batch_size: int = 64,
     num_batches: int = 2,
     num_hops: int = 3,
     fanout: int = 3,
-    cross_partition_fraction: float = 0.1,
+    cross_partition_fraction: Optional[float] = None,
     link: Optional[P2pLink] = None,
     ssd_config: Optional[SSDConfig] = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache=None,
     image_cache=None,
-) -> ScaleOutResult:
-    """Simulate an N-device BeaconGNN array on one workload.
+    require_cached: bool = False,
+) -> ScaleOutOutcome:
+    """Simulate an N-device BeaconGNN array, with caching and fan-out.
 
-    Each device serves ``batch_size / num_devices`` targets per array
-    batch (rounded up) against its own shard; the array batch completes
-    when the slowest device finishes and the cross-shard feature traffic
-    has drained over the P2P links.
+    Each device serves its :func:`shard_batch_sizes` slice of the array
+    batch on its own :func:`derive_shard_seed` counter stream; shards run
+    through :func:`repro.orchestrate.run_grid` (``jobs`` workers, shared
+    ``cache``/``image_cache``), so repeated calls reuse per-shard results
+    and the whole-array document, and ``jobs=N`` is bit-identical to
+    ``jobs=1``.
 
-    A raw :class:`WorkloadSpec` is prepared exactly once (optionally
-    through the DirectGraph ``image_cache``) and shared by all shards,
-    instead of rebuilding the image per device.
+    The array batch completes when the slowest device finishes and the
+    cross-shard feature vectors — measured from the shards' sampling
+    traces against the hash partition, or sized by the analytic
+    ``cross_partition_fraction`` when one is given — have drained over
+    the ``num_devices`` P2P ports in one exchange round.
+
+    ``require_cached=True`` raises ``KeyError`` on a cache miss instead
+    of simulating (the warm-cache figure path).
     """
+    from ..orchestrate.grid import GridCell, adopt_prepared, run_grid
+    from ..orchestrate.serialize import scaleout_from_payload, scaleout_to_payload
+
     if num_devices < 1:
         raise ValueError("need at least one device")
-    if not (0.0 <= cross_partition_fraction <= 1.0):
+    if num_batches < 1:
+        raise ValueError("need at least one batch")
+    if batch_size < num_devices:
+        raise ValueError(
+            f"batch_size ({batch_size}) must be >= num_devices "
+            f"({num_devices}): every device serves at least one target "
+            "per array batch"
+        )
+    if cross_partition_fraction is not None and not (
+        0.0 <= cross_partition_fraction <= 1.0
+    ):
         raise ValueError("cross_partition_fraction must be in [0, 1]")
     link = link or P2pLink()
+    features = (
+        platform
+        if isinstance(platform, PlatformFeatures)
+        else platform_by_name(platform)
+    )
+    config = ssd_config or ull_ssd()
 
-    if isinstance(workload, WorkloadSpec):
-        # Mirror run_platform's scaling rule, then share one prepared image.
-        config = ssd_config or ull_ssd()
-        spec = (
-            workload
-            if workload.num_nodes <= DEFAULT_SCALED_NODES
-            else workload.scaled(DEFAULT_SCALED_NODES)
-        )
-        workload = PreparedWorkload.prepare(
-            spec,
-            page_size=config.flash.page_size,
-            image_cache=image_cache,
-        )
-
-    per_device_batch = max(1, -(-batch_size // num_devices))
-    devices: List[RunResult] = []
-    for shard in range(num_devices):
-        devices.append(
-            run_platform(
-                platform,
-                workload,
-                ssd_config=ssd_config,
-                batch_size=per_device_batch,
-                num_batches=num_batches,
-                num_hops=num_hops,
-                fanout=fanout,
-                seed=seed + shard,
-            )
-        )
-
-    # Cross-shard feature traffic: remote positions' vectors cross P2P.
+    prepared: Optional[PreparedWorkload] = None
     if isinstance(workload, PreparedWorkload):
-        feature_dim = workload.spec.feature_dim
+        prepared = workload
+        spec = prepared.spec
+        if prepared.image.spec.page_size != config.flash.page_size:
+            raise ValueError(
+                f"prepared image page size {prepared.image.spec.page_size} "
+                f"differs from SSD page size {config.flash.page_size}"
+            )
     else:
-        feature_dim = workload.feature_dim
+        spec = workload_by_name(workload) if isinstance(workload, str) else workload
+        # mirror run_platform's scaling rule
+        if spec.num_nodes > DEFAULT_SCALED_NODES:
+            spec = spec.scaled(DEFAULT_SCALED_NODES)
+
+    key = scaleout_cache_key(
+        num_devices,
+        features,
+        spec,
+        config,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        num_hops=num_hops,
+        fanout=fanout,
+        cross_partition_fraction=cross_partition_fraction,
+        link=link,
+        seed=seed,
+    )
+    if cache is not None:
+        document = cache.get(key)
+        if document is not None:
+            return ScaleOutOutcome(
+                result=scaleout_from_payload(document["payload"]),
+                key=key,
+                from_cache=True,
+            )
+    if require_cached:
+        raise KeyError(
+            f"scale-out result {key[:12]}... not in result cache — "
+            "run without --from-cache first"
+        )
+
+    if prepared is not None:
+        adopt_prepared(prepared)
+
+    sizes = shard_batch_sizes(batch_size, num_devices)
+    cells = [
+        GridCell(
+            platform=features,
+            workload=spec,
+            ssd_config=ssd_config,
+            batch_size=sizes[s],
+            num_batches=num_batches,
+            num_hops=num_hops,
+            fanout=fanout,
+            seed=derive_shard_seed(seed, s),
+            scaled_nodes=spec.num_nodes,
+            sample_trace=True,
+        )
+        for s in range(num_devices)
+    ]
+    grid = run_grid(cells, jobs=jobs, cache=cache, image_cache=image_cache)
+    devices: List[RunResult] = grid.results
+
+    # Measured exchange: every sampled position whose node hashes to a
+    # foreign shard sends one feature vector owner -> requesting device.
+    owner = partition_nodes(spec.num_nodes, num_devices, seed)
+    link_vectors = [[0] * num_devices for _ in range(num_devices)]
+    remote_samples = [0] * num_devices
+    candidates = 0
+    for s, shard_result in enumerate(devices):
+        for batch in shard_result.sample_trace or []:
+            for _target, _position, node, depth in batch:
+                candidates += 1
+                if depth == 0:
+                    continue  # the target's own feature read is always local
+                owning = owner[node]
+                if owning != s:
+                    link_vectors[owning][s] += 1
+                    remote_samples[s] += 1
+    total_remote = sum(remote_samples)
+    measured_fraction = total_remote / candidates if candidates else 0.0
+
     positions = tree_capacity((fanout,) * num_hops)
-    remote_vectors = per_device_batch * positions * cross_partition_fraction
-    p2p_bytes = remote_vectors * feature_dim * FP16_BYTES
+    if cross_partition_fraction is None:
+        remote_vectors = float(total_remote)
+    else:
+        remote_vectors = (
+            batch_size * positions * num_batches * cross_partition_fraction
+        )
+    p2p_bytes = remote_vectors * spec.feature_dim * FP16_BYTES
+    # One exchange round per array batch: the batch's remote vectors
+    # drain across the array's num_devices P2P ports in parallel.
     p2p_seconds = (
-        p2p_bytes / link.bandwidth_bps + link.per_batch_sync_s
+        (p2p_bytes / num_batches) / (link.bandwidth_bps * num_devices)
+        + link.per_batch_sync_s
         if num_devices > 1
         else 0.0
     )
@@ -146,13 +408,85 @@ def run_scaleout(
         (d.total_seconds / num_batches for d in devices), default=0.0
     )
     batch_seconds = slowest_batch + p2p_seconds
-    total_targets = per_device_batch * num_devices * num_batches
-    return ScaleOutResult(
+    result = ScaleOutResult(
         num_devices=num_devices,
         per_device=devices,
+        shard_batch_sizes=sizes,
         cross_partition_fraction=cross_partition_fraction,
+        measured_remote_fraction=measured_fraction,
+        remote_samples=remote_samples,
+        link_vectors=link_vectors,
+        link=link,
         p2p_seconds_per_batch=p2p_seconds,
         batch_seconds=batch_seconds,
-        total_targets=total_targets,
+        total_targets=batch_size * num_batches,
         total_seconds=batch_seconds * num_batches,
     )
+    # Fresh results take the same payload round trip a cache hit does, so
+    # the two are interchangeable bit for bit.
+    payload = scaleout_to_payload(result)
+    if cache is not None:
+        cache.put(
+            key,
+            {
+                "payload": payload,
+                "meta": {
+                    "kind": "scaleout",
+                    "platform": features.name,
+                    "workload": spec.name,
+                    "num_devices": num_devices,
+                    "seed": seed,
+                    "code_version": __version__,
+                },
+            },
+        )
+    return ScaleOutOutcome(
+        result=scaleout_from_payload(payload),
+        key=key,
+        from_cache=False,
+        shards_executed=grid.executed,
+        shard_cache_hits=grid.cache_hits,
+        images_built=grid.images_built,
+        image_hits=grid.image_hits,
+    )
+
+
+def run_scaleout(
+    num_devices: int,
+    platform: Union[str, PlatformFeatures],
+    workload: Union[str, WorkloadSpec, PreparedWorkload],
+    *,
+    batch_size: int = 64,
+    num_batches: int = 2,
+    num_hops: int = 3,
+    fanout: int = 3,
+    cross_partition_fraction: Optional[float] = None,
+    link: Optional[P2pLink] = None,
+    ssd_config: Optional[SSDConfig] = None,
+    seed: int = 0,
+    jobs: int = 1,
+    cache=None,
+    image_cache=None,
+) -> ScaleOutResult:
+    """Simulate an N-device BeaconGNN array on one workload.
+
+    Thin wrapper over :func:`scaleout_outcome` returning just the
+    :class:`ScaleOutResult`; see there for the sharding, exchange, and
+    caching semantics.
+    """
+    return scaleout_outcome(
+        num_devices,
+        platform,
+        workload,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        num_hops=num_hops,
+        fanout=fanout,
+        cross_partition_fraction=cross_partition_fraction,
+        link=link,
+        ssd_config=ssd_config,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        image_cache=image_cache,
+    ).result

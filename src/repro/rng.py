@@ -9,7 +9,7 @@ equivalent to the in-order reference: a draw depends only on
 
 from __future__ import annotations
 
-__all__ = ["splitmix64", "counter_draw"]
+__all__ = ["splitmix64", "counter_draw", "stream_seed"]
 
 _MASK64 = (1 << 64) - 1
 
@@ -29,3 +29,15 @@ def counter_draw(seed: int, *keys: int) -> int:
     for key in keys:
         state = splitmix64(state ^ (int(key) & _MASK64))
     return state
+
+
+def stream_seed(seed: int, *keys: int) -> int:
+    """A derived seed for an independent worker/shard counter stream.
+
+    Orchestration layers (grid cells, scale-out shards) hand each unit of
+    work its own seed; deriving it as a keyed counter draw keeps the
+    assignment independent of execution order and worker count. The top
+    bit is dropped so the value stays a positive int64 for numpy
+    Generators.
+    """
+    return counter_draw(seed, *keys) >> 1

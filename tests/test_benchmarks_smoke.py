@@ -20,6 +20,7 @@ from types import SimpleNamespace
 
 import pytest
 
+from repro.directgraph import ImageCache
 from repro.orchestrate import GridCell, ResultCache, run_grid
 from repro.platforms import PreparedWorkload
 from repro.workloads import workload_by_name
@@ -49,6 +50,7 @@ def smoke_fixtures(tmp_path_factory):
         nodes=SMOKE_NODES, batch=SMOKE_BATCH, nbatch=SMOKE_NBATCH, jobs=1
     )
     cache = ResultCache(tmp_path_factory.mktemp("bench-smoke-cache"))
+    icache = ImageCache(tmp_path_factory.mktemp("bench-smoke-images"))
     prepared = {}
 
     def prepared_cache(workload, page_size=4096):
@@ -85,6 +87,9 @@ def smoke_fixtures(tmp_path_factory):
         "make_cell": make_cell,
         "grid_runner": grid_runner,
         "run_cache": run_cache,
+        "grid_cache": cache,
+        "image_cache": icache,
+        "bench_from_cache": False,
     }
 
 

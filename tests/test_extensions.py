@@ -68,6 +68,9 @@ class TestScaleOut:
             run_scaleout(0, "bg2", prepared)
         with pytest.raises(ValueError):
             run_scaleout(2, "bg2", prepared, cross_partition_fraction=1.5)
+        with pytest.raises(ValueError):
+            # every device must serve at least one target per array batch
+            run_scaleout(8, "bg2", prepared, batch_size=4)
 
 
 class TestQueryLatency:

@@ -316,3 +316,79 @@ class TestOutcomeFromCache:
         run_grid([hit], jobs=1, cache=cache)
         with pytest.raises(KeyError, match=r"1 of 2 cells"):
             outcome_from_cache([hit, miss], cache)
+
+
+class TestScaleOutCache:
+    """ScaleOutResult documents in the content-addressed result cache."""
+
+    PARAMS = dict(batch_size=8, num_batches=1)
+
+    def outcome(self, cache, **overrides):
+        from repro.platforms import scaleout_outcome
+
+        spec = workload_by_name("ogbn").scaled(256)
+        params = {**self.PARAMS, **overrides}
+        return scaleout_outcome(2, "bg2", spec, cache=cache, **params)
+
+    def test_store_load_lossless_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = self.outcome(cache)
+        warm = self.outcome(cache)
+        assert not cold.from_cache and warm.from_cache
+        assert warm.result.to_dict() == cold.result.to_dict()
+        # per-shard instruments survive, traces included
+        assert all(
+            w.to_dict() == c.to_dict()
+            for w, c in zip(warm.result.per_device, cold.result.per_device)
+        )
+
+    def test_cache_hit_skips_simulation_and_builds(self, tmp_path):
+        from repro.directgraph import BUILD_COUNTER
+        from repro.orchestrate.grid import _PREPARED_MEMO
+
+        cache = ResultCache(tmp_path)
+        cold = self.outcome(cache)
+        assert cold.shards_executed == 2
+        _PREPARED_MEMO.clear()
+        BUILD_COUNTER.reset()
+        warm = self.outcome(cache)
+        assert warm.shards_executed == 0 and warm.shard_cache_hits == 0
+        assert BUILD_COUNTER.count == 0  # hit loads the document, not images
+
+    def test_stats_count_array_and_shard_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats().entries == 0
+        self.outcome(cache)
+        # one document per shard cell plus the array document itself
+        assert cache.stats().entries == 3
+
+    def test_shard_cache_serves_when_array_document_lost(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = self.outcome(cache)
+        # evict only the array-level document; the per-shard cells remain
+        cache.path_for(cold.key).unlink()
+        rebuilt = self.outcome(cache)
+        assert not rebuilt.from_cache
+        assert rebuilt.shards_executed == 0
+        assert rebuilt.shard_cache_hits == 2
+        assert rebuilt.result.to_dict() == cold.result.to_dict()
+
+    def test_require_cached_raises_on_miss(self, tmp_path):
+        from repro.platforms import scaleout_outcome
+
+        cache = ResultCache(tmp_path)
+        spec = workload_by_name("ogbn").scaled(256)
+        with pytest.raises(KeyError, match="not in result cache"):
+            scaleout_outcome(
+                2, "bg2", spec, cache=cache, require_cached=True, **self.PARAMS
+            )
+
+    def test_scaleout_schema_mismatch_rejected(self, tmp_path):
+        from repro.orchestrate import scaleout_from_payload, scaleout_to_payload
+
+        cache = ResultCache(tmp_path)
+        payload = scaleout_to_payload(self.outcome(cache).result)
+        assert json.loads(json.dumps(payload)) == payload  # plain JSON
+        payload["schema"] = 999
+        with pytest.raises(ValueError):
+            scaleout_from_payload(payload)
