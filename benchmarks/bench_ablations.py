@@ -21,7 +21,6 @@ from repro.gnn import Graph
 from repro.directgraph import FormatSpec, build_directgraph
 from repro.gnn.features import DenseFeatureTable
 from repro.isc import CommandKind, GnnTaskConfig, run_in_storage_sampling
-from repro.platforms import run_platform
 from repro.ssd import ull_ssd
 
 WORKLOAD = "amazon"
@@ -53,15 +52,17 @@ def test_ablation_secondary_coalescing(benchmark):
     assert on.subgraphs[0].canonical() == off.subgraphs[0].canonical()
 
 
-def test_ablation_pipeline_overlap(benchmark, prepared_cache, bench_env):
+def test_ablation_pipeline_overlap(benchmark, run_cache):
     """Section VI-D: overlapping prep(i) with compute(i-1) raises
     throughput when compute is non-negligible."""
 
     def experiment():
-        prepared = prepared_cache(WORKLOAD)
-        kwargs = dict(batch_size=bench_env.batch, num_batches=4)
-        on = run_platform("bg2", prepared, pipeline_overlap=True, **kwargs)
-        off = run_platform("bg2", prepared, pipeline_overlap=False, **kwargs)
+        on = run_cache(
+            "bg2", WORKLOAD, num_batches=4, pipeline_overlap=True
+        )
+        off = run_cache(
+            "bg2", WORKLOAD, num_batches=4, pipeline_overlap=False
+        )
         return on, off
 
     on, off = benchmark.pedantic(experiment, rounds=1, iterations=1)
@@ -73,19 +74,16 @@ def test_ablation_pipeline_overlap(benchmark, prepared_cache, bench_env):
     assert on.throughput_targets_per_sec > off.throughput_targets_per_sec
 
 
-def test_ablation_register_pipelining(benchmark, prepared_cache, bench_env):
+def test_ablation_register_pipelining(benchmark, run_cache):
     """Cache/data register split lets a die read while its previous page
     drains — a large win for page-granular platforms."""
 
     def experiment():
-        prepared = prepared_cache(WORKLOAD)
-        kwargs = dict(batch_size=bench_env.batch, num_batches=bench_env.nbatch)
-        plain = run_platform("bg1", prepared, ssd_config=ull_ssd(), **kwargs)
-        piped = run_platform(
+        plain = run_cache("bg1", WORKLOAD, ssd_config=ull_ssd())
+        piped = run_cache(
             "bg1",
-            prepared,
+            WORKLOAD,
             ssd_config=ull_ssd().with_flash(pipelined_registers=True),
-            **kwargs,
         )
         return plain, piped
 

@@ -12,27 +12,24 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import format_table
-from repro.platforms import run_platform
 from repro.platforms.background import BackgroundIoConfig
 
 RATES = [100_000, 500_000, 1_000_000]
 
 
-def test_colocated_regular_io(benchmark, prepared_cache, bench_env):
+def test_colocated_regular_io(benchmark, run_cache):
     def experiment():
-        prepared = prepared_cache("amazon")
-        kwargs = dict(batch_size=bench_env.batch, num_batches=3)
-        clean = run_platform("bg2", prepared, **kwargs)
+        clean = run_cache("bg2", "amazon", num_batches=3)
         rows = []
         for rate in RATES:
             for deferred in (True, False):
-                run = run_platform(
+                run = run_cache(
                     "bg2",
-                    prepared,
+                    "amazon",
+                    num_batches=3,
                     background_io=BackgroundIoConfig(
                         rate_per_s=rate, deferred=deferred
                     ),
-                    **kwargs,
                 )
                 rows.append(
                     (

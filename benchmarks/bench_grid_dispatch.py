@@ -1,0 +1,101 @@
+"""Grid dispatch overhead — the numbers behind BENCH_grid.json.
+
+Times one many-small-cell sweep (the Fig 14 shape) under ``run_grid``'s
+two dispatch strategies at the same ``jobs`` setting — classic per-cell
+pool tasks versus batched chunks through the cooperative in-process
+executor — via the same :func:`repro.perf.run_grid_suite` that backs
+``repro perf --suite grid``. Both strategies produce bit-identical
+payloads (pinned by ``tests/test_batched_dispatch.py``), so the only
+thing that may differ is the wall clock.
+
+If the repo-root ``BENCH_grid.json`` baseline exists, the run is also
+gated against it (>30% regression on any metric fails), mirroring the
+CI perf-smoke job.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_GRID_CELLS``  — cells in the sweep (default 16)
+* ``REPRO_BENCH_GRID_REPEAT`` — best-of repeats (default 3)
+* ``REPRO_BENCH_GRID_JOBS``   — workers requested for both strategies
+  (default/``auto``: ``max(4, 2 * available_cpus())``, the
+  oversubscribed regime the affinity fix targets)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.perf import (
+    check_against_baseline,
+    format_report,
+    load_report,
+    run_grid_suite,
+)
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_grid.json"
+
+
+def _jobs_env(value: str):
+    value = value.strip().lower()
+    if value in ("", "auto", "0"):
+        return None
+    return int(value)
+
+
+def test_grid_dispatch(benchmark):
+    n_cells = int(os.environ.get("REPRO_BENCH_GRID_CELLS", "16"))
+    repeats = int(os.environ.get("REPRO_BENCH_GRID_REPEAT", "3"))
+    jobs = _jobs_env(os.environ.get("REPRO_BENCH_GRID_JOBS", ""))
+
+    report = benchmark.pedantic(
+        lambda: run_grid_suite(n_cells=n_cells, repeats=repeats, jobs=jobs),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    baseline = load_report(BASELINE) if BASELINE.is_file() else None
+    for name, row in report["results"].items():
+        if row["metric"] == "ratio":
+            rate = f"{row['value']:.2f}x"
+        else:
+            rate = f"{row['value'] * 1e3:.1f} ms"
+        base = ""
+        if baseline is not None:
+            entry = baseline.get("benchmarks", {}).get(name)
+            if entry and "speedup" in entry:
+                base = f"{entry['speedup']:.2f}x"
+        rows.append((name, f"{row['ops']:,d}", rate, base))
+    print()
+    params = report["params"]
+    print(
+        format_table(
+            ["benchmark", "cells", "measured", "committed speedup"],
+            rows,
+            title=(
+                f"grid dispatch ({params['cells']} cells, "
+                f"jobs={params['jobs']}, cpus={params['cpus']})"
+            ),
+        )
+    )
+
+    for row in report["results"].values():
+        assert row["ops"] > 0 and row["seconds"] >= 0
+
+    # chunked dispatch never loses badly to per-cell dispatch (loose
+    # bound: timing noise only, the real floor is the committed gate)
+    results = report["results"]
+    assert (
+        results["grid_chunked"]["value"]
+        <= results["grid_percell"]["value"] * 1.25
+    )
+
+    if baseline is not None:
+        failures = check_against_baseline(report, baseline, max_regress=0.30)
+        assert not failures, "\n".join(failures)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_report(run_grid_suite()))

@@ -5,17 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import format_table
-from repro.platforms import measure_query_latency, run_scaleout
 
 
-def test_sec8_scaleout_array(benchmark, prepared_cache, bench_env):
+def test_sec8_scaleout_array(benchmark, scaleout_runner, prepared_cache, bench_env):
     def experiment():
         prepared = prepared_cache("amazon")
         rows = []
         single = None
         for devices in (1, 2, 4, 8):
             # weak scaling: constant per-device batch, array batch grows
-            array = run_scaleout(
+            array = scaleout_runner(
                 devices, "bg2", prepared,
                 batch_size=bench_env.batch * devices, num_batches=2,
                 cross_partition_fraction=0.1,
@@ -51,11 +50,11 @@ def test_sec8_scaleout_array(benchmark, prepared_cache, bench_env):
     assert eff[8] > 0.7
 
 
-def test_sec8_query_latency(benchmark, prepared_cache):
+def test_sec8_query_latency(benchmark, query_runner, prepared_cache):
     def experiment():
         prepared = prepared_cache("amazon")
         return {
-            platform: measure_query_latency(
+            platform: query_runner(
                 platform, prepared, num_queries=5, batch_size=1
             )
             for platform in ("cc", "bg1", "bg2")

@@ -11,7 +11,10 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_NODES``     — scaled node count per workload (default 4096)
 * ``REPRO_BENCH_BATCH``     — mini-batch size (default 64)
 * ``REPRO_BENCH_NBATCH``    — pipelined batches per run (default 2)
-* ``REPRO_BENCH_JOBS``      — worker processes per grid (default 1)
+* ``REPRO_BENCH_JOBS``      — worker processes per grid (default 1;
+  ``auto`` or ``0`` sizes the pool from the CPU affinity mask)
+* ``REPRO_BENCH_CHUNK``     — cells per worker task (default/``auto``:
+  sized from cell count and jobs; ``1`` forces classic per-cell tasks)
 * ``REPRO_BENCH_CACHE_DIR`` — persistent result cache (default: per-session
   temporary directory, so benchmark runs stay self-contained)
 
@@ -29,15 +32,35 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import pytest
 
 from repro.directgraph import ImageCache
 from repro.orchestrate import GridCell, ResultCache, outcome_from_cache, run_grid
-from repro.platforms import PreparedWorkload
+from repro.platforms import (
+    PreparedWorkload,
+    measure_query_latency,
+    scaleout_outcome,
+)
 from repro.ssd import SSDConfig
 from repro.workloads import workload_by_name
+
+
+def _jobs_env(value: str) -> Optional[int]:
+    """``auto``/``0`` -> None (run_grid auto-detects from CPU affinity)."""
+    if value.strip().lower() == "auto":
+        return None
+    jobs = int(value)
+    return None if jobs == 0 else jobs
+
+
+def _chunk_env(value: str) -> Optional[int]:
+    """Empty/``auto`` -> None (run_grid picks the chunk size)."""
+    value = value.strip().lower()
+    if value in ("", "auto"):
+        return None
+    return int(value)
 
 
 def pytest_addoption(parser):
@@ -54,7 +77,8 @@ class BenchEnv:
     nodes: int
     batch: int
     nbatch: int
-    jobs: int
+    jobs: Optional[int]  # None = auto-detect from CPU affinity
+    chunk: Optional[int]  # None = auto-size from cell count and jobs
 
 
 @pytest.fixture(scope="session")
@@ -63,7 +87,8 @@ def bench_env() -> BenchEnv:
         nodes=int(os.environ.get("REPRO_BENCH_NODES", "4096")),
         batch=int(os.environ.get("REPRO_BENCH_BATCH", "64")),
         nbatch=int(os.environ.get("REPRO_BENCH_NBATCH", "2")),
-        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        jobs=_jobs_env(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        chunk=_chunk_env(os.environ.get("REPRO_BENCH_CHUNK", "")),
     )
 
 
@@ -133,7 +158,51 @@ def grid_runner(bench_env, grid_cache, image_cache, bench_from_cache):
         if bench_from_cache:
             return outcome_from_cache(cells, grid_cache)
         return run_grid(
-            cells, jobs=bench_env.jobs, cache=grid_cache, image_cache=image_cache
+            cells,
+            jobs=bench_env.jobs,
+            cache=grid_cache,
+            image_cache=image_cache,
+            chunk=bench_env.chunk,
+        )
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def scaleout_runner(bench_env, grid_cache, image_cache, bench_from_cache):
+    """Cached scale-out arrays: warm re-runs come off the result cache,
+    and ``--from-cache`` raises instead of simulating."""
+
+    def run(num_devices, platform, workload, **kwargs):
+        return scaleout_outcome(
+            num_devices,
+            platform,
+            workload,
+            jobs=bench_env.jobs,
+            chunk=bench_env.chunk,
+            cache=grid_cache,
+            image_cache=image_cache,
+            require_cached=bench_from_cache,
+            **kwargs,
+        ).result
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def query_runner(bench_env, grid_cache, image_cache, bench_from_cache):
+    """Cached query-latency sweeps (one grid cell per query)."""
+
+    def run(platform, workload, **kwargs):
+        return measure_query_latency(
+            platform,
+            workload,
+            jobs=bench_env.jobs,
+            chunk=bench_env.chunk,
+            cache=grid_cache,
+            image_cache=image_cache,
+            require_cached=bench_from_cache,
+            **kwargs,
         )
 
     return run

@@ -9,7 +9,7 @@ Subcommands
 ``inflate``  DirectGraph storage-inflation report (Table IV)
 ``info``     print the Table II configuration and platform list
 ``cache``    result/image-cache maintenance (``stats`` / ``clear`` / ``prune``)
-``perf``     microbenchmark suites (BENCH_kernel.json / BENCH_prepare.json)
+``perf``     microbenchmark suites (BENCH_kernel / BENCH_prepare / BENCH_grid)
 
 ``run``/``compare``/``sweep``/``scaleout`` all go through
 :func:`repro.orchestrate.run_grid`:
@@ -119,9 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf = sub.add_parser("perf", help="microbenchmark suites")
     perf.add_argument(
         "--suite",
-        choices=["kernel", "prepare", "all"],
+        choices=["kernel", "prepare", "grid", "all"],
         default="kernel",
-        help="kernel hot-path ops, workload-prepare pipeline, or both",
+        help="kernel hot-path ops, workload-prepare pipeline, grid "
+        "dispatch overhead, or all three",
     )
     perf.add_argument(
         "--scale", type=float, default=1.0, help="kernel op-count multiplier"
@@ -145,6 +146,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["current", "reference"],
         default="current",
         help="prepare suite: vectorized builder or per-node reference",
+    )
+    perf.add_argument(
+        "--grid-cells",
+        type=int,
+        default=16,
+        help="grid suite: number of small cells in the sweep",
+    )
+    perf.add_argument(
+        "--grid-jobs",
+        type=_jobs_arg,
+        default=None,
+        help="grid suite: pool size for both dispatch paths "
+        "(default: models oversubscription at max(4, 2*CPUs))",
     )
     perf.add_argument(
         "--out", default=None, help="write the report JSON to this path"
@@ -185,7 +199,18 @@ def _common_run_args(parser: argparse.ArgumentParser) -> None:
         "--traditional", action="store_true", help="20us-read flash (Sec VII-E)"
     )
     parser.add_argument(
-        "--jobs", type=int, default=1, help="worker processes for the grid"
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help="worker processes for the grid; 'auto' (or 0) detects from "
+        "CPU affinity",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=_chunk_arg,
+        default=None,
+        help="cells per worker task: 1 = classic per-cell dispatch, N = "
+        "batched chunks of N, 'auto' (default) sizes from cells and jobs",
     )
     parser.add_argument(
         "--cache",
@@ -208,6 +233,21 @@ def _common_run_args(parser: argparse.ArgumentParser) -> None:
         help="image cache directory (default <cache-dir>/images; "
         "requires --cache unless set explicitly)",
     )
+
+
+def _jobs_arg(value: str) -> Optional[int]:
+    """``--jobs`` parser: 'auto' or 0 mean affinity-aware auto-detect."""
+    if value.strip().lower() == "auto":
+        return None
+    jobs = int(value)
+    return None if jobs == 0 else jobs
+
+
+def _chunk_arg(value: str) -> Optional[int]:
+    """``--chunk`` parser: 'auto' defers to ``auto_chunk_size``."""
+    if value.strip().lower() == "auto":
+        return None
+    return int(value)
 
 
 def _config(args) -> object:
@@ -263,6 +303,7 @@ def cmd_run(args) -> int:
         jobs=args.jobs,
         cache=_result_cache(args),
         image_cache=_image_cache(args),
+        chunk=args.chunk,
     )
     result = outcome.results[0]
     rows = [
@@ -293,6 +334,7 @@ def cmd_compare(args) -> int:
         jobs=args.jobs,
         cache=_result_cache(args),
         image_cache=_image_cache(args),
+        chunk=args.chunk,
     )
     rows = []
     base = None
@@ -345,6 +387,7 @@ def cmd_sweep(args) -> int:
         jobs=args.jobs,
         cache=_result_cache(args),
         image_cache=_image_cache(args),
+        chunk=args.chunk,
     )
     results = iter(outcome.results)
     rows = []
@@ -393,6 +436,7 @@ def cmd_scaleout(args) -> int:
                     cache=cache,
                     image_cache=image_cache,
                     require_cached=args.from_cache,
+                    chunk=args.chunk,
                 )
             )
         except KeyError as err:
@@ -482,6 +526,7 @@ def cmd_perf(args) -> int:
         format_report,
         load_report,
         merge_before_after,
+        run_grid_suite,
         run_prepare_suite,
         run_suite,
         write_report,
@@ -501,6 +546,14 @@ def cmd_perf(args) -> int:
                 workload=args.prepare_workload,
                 repeats=args.repeat,
                 impl=args.prepare_impl,
+            )
+        )
+    if args.suite in ("grid", "all"):
+        reports.append(
+            run_grid_suite(
+                n_cells=args.grid_cells,
+                repeats=args.repeat,
+                jobs=args.grid_jobs,
             )
         )
     report = reports[0]

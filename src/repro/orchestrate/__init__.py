@@ -6,6 +6,7 @@ results whether the grid runs on one process or eight, cold or from the
 on-disk :class:`ResultCache`.
 """
 
+from .batched import auto_chunk_size, available_cpus, execute_batch
 from .cache import CacheStats, ResultCache, default_cache_dir, stable_hash
 from .grid import (
     GridCell,
@@ -35,6 +36,9 @@ __all__ = [
     "adopt_prepared",
     "derive_cell_seed",
     "cell_cache_key",
+    "execute_batch",
+    "auto_chunk_size",
+    "available_cpus",
     "ResultCache",
     "CacheStats",
     "default_cache_dir",

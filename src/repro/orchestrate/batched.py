@@ -1,0 +1,184 @@
+"""Cooperative multi-simulation executor: many live kernels, one process.
+
+Per-cell process dispatch pays payload pickling, interpreter spin-up,
+and a cold prepared-image memo for every task — overhead that dwarfs the
+simulation itself when a sweep is made of many small cells. This module
+amortizes it MQSim-style: :func:`execute_batch` hosts up to ``max_live``
+:class:`~repro.platforms.runner.PlatformRun` instances inside one
+process, round-robining bounded :meth:`~repro.sim.kernel.Simulator.step`
+slices across them so all of them share one warm
+``_PREPARED_MEMO`` and one interpreter, and emitting incremental
+progress heartbeats between slices.
+
+Delivery-order guarantee: each kernel is driven only through ``step``,
+which delivers in exactly the order one ``run()`` call would (see
+:mod:`repro.sim.kernel`), and the simulations share no state, so the
+payloads produced here are bit-identical to per-cell dispatch.
+
+:func:`run_grid` ships batches of cells to workers through
+:func:`_execute_chunk`; :func:`auto_chunk_size` and
+:func:`available_cpus` size those batches from the cell count and the
+CPUs this process may actually use (``sched_getaffinity``, not
+``cpu_count``, so CPU-limited containers don't oversubscribe).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..platforms.runner import PlatformRun
+from .serialize import result_to_payload
+
+__all__ = [
+    "execute_batch",
+    "available_cpus",
+    "auto_chunk_size",
+    "DEFAULT_SLICE_EVENTS",
+    "DEFAULT_MAX_LIVE",
+]
+
+# One slice is the unit of interleaving: large enough that slice
+# bookkeeping vanishes against kernel work, small enough that heartbeats
+# and refills stay responsive for cells of any size.
+DEFAULT_SLICE_EVENTS = 50_000
+
+# Live kernels held concurrently per process. Bounds peak memory (each
+# live run owns a full device model) while still overlapping the
+# finalize/start bookkeeping of neighbouring cells.
+DEFAULT_MAX_LIVE = 4
+
+
+def available_cpus() -> int:
+    """CPUs this process may run on — affinity-aware, never zero.
+
+    ``os.sched_getaffinity`` reflects cgroup/container CPU limits that
+    ``os.cpu_count`` ignores; fall back to the latter where affinity is
+    unsupported (macOS).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def auto_chunk_size(n_cells: int, jobs: int) -> int:
+    """Cells per worker task when the caller didn't pin ``--chunk``.
+
+    One process: a single chunk (pure in-process batching, no pool at
+    all). Parallel: ~4 chunks per worker, so a straggler chunk idles a
+    worker for at most ~1/4 of its share while dispatch overhead is
+    still amortized over ``chunk`` cells per task.
+    """
+    if n_cells <= 0:
+        return 1
+    if jobs <= 1:
+        return n_cells
+    return max(1, math.ceil(n_cells / (jobs * 4)))
+
+
+def _start_run(job: Tuple) -> PlatformRun:
+    """Launch one cell's simulation; mirrors ``grid._execute_cell`` setup."""
+    from .grid import _prepared_for
+
+    cell, seed, image_cache_root = job
+    config = cell.resolved_config()
+    prepared = _prepared_for(
+        cell.resolved_workload(), config.flash.page_size, image_cache_root
+    )
+    return PlatformRun(
+        cell.resolved_platform(),
+        prepared,
+        ssd_config=config,
+        **cell.run_params(seed),
+    )
+
+
+def execute_batch(
+    jobs: Sequence[Tuple],
+    *,
+    max_live: int = DEFAULT_MAX_LIVE,
+    slice_events: int = DEFAULT_SLICE_EVENTS,
+    heartbeat: Optional[Callable[[Dict], None]] = None,
+) -> List[Dict]:
+    """Simulate a batch of cells cooperatively; payloads in job order.
+
+    ``jobs`` are the same ``(cell, seed, image_cache_root)`` tuples the
+    per-cell worker protocol uses. Up to ``max_live`` simulations are
+    live at once; each sweep gives every live kernel one
+    ``step(slice_events)`` slice, finalizes the ones that drained, and
+    refills from the queue. ``heartbeat`` (if set) is called after every
+    sweep with ``{"completed", "live", "total", "events"}``.
+    """
+    if max_live < 1:
+        raise ValueError("max_live must be >= 1")
+    jobs = list(jobs)
+    payloads: List[Optional[Dict]] = [None] * len(jobs)
+    pending = deque(range(len(jobs)))
+    live: List[Tuple[int, PlatformRun]] = []
+    completed = 0
+    events = 0
+    while live or pending:
+        while pending and len(live) < max_live:
+            i = pending.popleft()
+            live.append((i, _start_run(jobs[i])))
+        still_live: List[Tuple[int, PlatformRun]] = []
+        for i, run in live:
+            n = run.step(slice_events)
+            events += n
+            if n < slice_events and run.finished:
+                payloads[i] = result_to_payload(run.finalize())
+                completed += 1
+            else:
+                still_live.append((i, run))
+        live = still_live
+        if heartbeat is not None:
+            heartbeat(
+                {
+                    "completed": completed,
+                    "live": len(live),
+                    "total": len(jobs),
+                    "events": events,
+                }
+            )
+    return payloads  # type: ignore[return-value]
+
+
+def _env_heartbeat(chunk_size: int) -> Optional[Callable[[Dict], None]]:
+    """Periodic stderr progress line, gated by ``REPRO_GRID_HEARTBEAT_S``.
+
+    Workers run far from the orchestrating terminal; setting the env var
+    to a positive number of seconds makes each one report sweep progress
+    at that cadence (``0``/unset: silent, the default).
+    """
+    raw = os.environ.get("REPRO_GRID_HEARTBEAT_S", "")
+    try:
+        interval = float(raw) if raw else 0.0
+    except ValueError:
+        interval = 0.0
+    if interval <= 0:
+        return None
+    last = [time.monotonic()]
+
+    def beat(progress: Dict) -> None:
+        now = time.monotonic()
+        if now - last[0] >= interval:
+            last[0] = now
+            print(
+                f"[repro.grid pid={os.getpid()}] "
+                f"{progress['completed']}/{progress['total']} cells done, "
+                f"{progress['live']} live, {progress['events']} events",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    return beat
+
+
+def _execute_chunk(chunk_jobs: Sequence[Tuple]) -> List[Dict]:
+    """Worker entry point: one pool task simulates a whole chunk."""
+    return execute_batch(chunk_jobs, heartbeat=_env_heartbeat(len(chunk_jobs)))

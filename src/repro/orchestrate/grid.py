@@ -27,6 +27,7 @@ from .. import __version__
 from ..directgraph import builder as _builder
 from ..directgraph import imagecache as _imagecache
 from ..directgraph.imagecache import ImageCache
+from ..platforms.background import BackgroundIoConfig
 from ..platforms.features import PlatformFeatures
 from ..platforms.registry import platform_by_name
 from ..platforms.result import RunResult
@@ -76,6 +77,7 @@ class GridCell:
     scaled_nodes: int = DEFAULT_SCALED_NODES
     pipeline_overlap: bool = True
     sample_trace: bool = False
+    background_io: Optional[BackgroundIoConfig] = None
 
     def resolved_platform(self) -> PlatformFeatures:
         if isinstance(self.platform, PlatformFeatures):
@@ -109,6 +111,9 @@ class GridCell:
             # cache keys, and traced cells (scale-out shards) never collide
             # with an equal untraced run
             params["sample_trace"] = True
+        if self.background_io is not None:
+            # same rule: plain cells keep their pre-background_io cache keys
+            params["background_io"] = self.background_io
         return params
 
 
@@ -276,16 +281,28 @@ def _resolve_image_cache(
 def run_grid(
     cells: Sequence[GridCell],
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     base_seed: int = 0,
     image_cache=None,
+    chunk: Optional[int] = None,
 ) -> GridOutcome:
     """Run every cell, in parallel, skipping cells already in ``cache``.
 
     Returns results in cell order. All results — fresh, parallel, or
     cached — pass through the same serialized payload form, so they are
     interchangeable bit for bit.
+
+    ``jobs=None`` (or ``0``) auto-detects from CPU affinity
+    (:func:`~repro.orchestrate.batched.available_cpus`). ``chunk``
+    selects the dispatch granularity: ``1`` is classic per-cell dispatch
+    (one pool task per cell); any larger value ships batches of that
+    many cells per task through the in-process batched executor
+    (:func:`~repro.orchestrate.batched.execute_batch`); ``None`` (the
+    default) auto-sizes via
+    :func:`~repro.orchestrate.batched.auto_chunk_size`. Every setting
+    produces bit-identical results — chunking only changes how the work
+    is shipped.
 
     Prepared workload images are shared two ways: the orchestrating
     process pre-builds each distinct (workload, page_size) once — fork
@@ -294,8 +311,14 @@ def run_grid(
     serialized image is persisted so later runs and non-fork workers load
     bytes instead of rebuilding.
     """
+    from .batched import auto_chunk_size, available_cpus, execute_batch
+
+    if jobs is None or jobs == 0:
+        jobs = available_cpus()
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if chunk is not None and chunk < 1:
+        raise ValueError("chunk must be >= 1 (or None for auto)")
     cells = list(cells)
     seeds = [
         cell.seed if cell.seed is not None else derive_cell_seed(base_seed, cell)
@@ -331,13 +354,33 @@ def run_grid(
                 _prepared_for(spec, page_size, icache_root)
 
     jobs_args = [(cells[i], seeds[i], icache_root) for i in pending]
-    if len(jobs_args) > 1 and jobs > 1:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(jobs_args)), mp_context=_pool_context()
-        ) as pool:
-            fresh = list(pool.map(_execute_cell, jobs_args))
+    if chunk == 1:
+        # Classic per-cell dispatch: one pool task (and one payload
+        # pickle) per cell. Kept exact for differential testing and as
+        # the perf-suite baseline.
+        if len(jobs_args) > 1 and jobs > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(jobs_args)), mp_context=_pool_context()
+            ) as pool:
+                fresh = list(pool.map(_execute_cell, jobs_args))
+        else:
+            fresh = [_execute_cell(job) for job in jobs_args]
     else:
-        fresh = [_execute_cell(job) for job in jobs_args]
+        from .batched import _execute_chunk
+
+        size = chunk if chunk is not None else auto_chunk_size(len(jobs_args), jobs)
+        chunks = [jobs_args[i : i + size] for i in range(0, len(jobs_args), size)]
+        # A pool worker beyond the CPUs this process may use (or beyond
+        # the chunk count) only adds fork + pickling overhead, so cap
+        # the fan-out; excess chunks queue behind the pool.
+        workers = min(jobs, available_cpus(), len(chunks))
+        if workers > 1:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                fresh = [p for batch in pool.map(_execute_chunk, chunks) for p in batch]
+        else:
+            fresh = execute_batch(jobs_args) if jobs_args else []
 
     for i, payload in zip(pending, fresh):
         payloads[i] = payload

@@ -7,7 +7,8 @@ runs the unmodified hot path at zero extra cost), and
 :mod:`repro.perf.microbench` is the suite behind ``repro perf`` and the
 checked-in ``BENCH_kernel.json``. :mod:`repro.perf.preparebench` covers
 the workload-prepare pipeline (``repro perf --suite prepare``,
-``BENCH_prepare.json``).
+``BENCH_prepare.json``) and :mod:`repro.perf.gridbench` the grid
+dispatch overhead (``repro perf --suite grid``, ``BENCH_grid.json``).
 """
 
 from .probe import KernelCounters, KernelProbe
@@ -22,6 +23,7 @@ from .microbench import (
     write_report,
 )
 from .preparebench import PREPARE_IMPLS, run_prepare_suite
+from .gridbench import grid_suite_cells, run_grid_suite
 
 __all__ = [
     "KernelCounters",
@@ -31,6 +33,8 @@ __all__ = [
     "PREPARE_IMPLS",
     "run_suite",
     "run_prepare_suite",
+    "run_grid_suite",
+    "grid_suite_cells",
     "format_report",
     "write_report",
     "load_report",

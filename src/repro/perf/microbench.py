@@ -209,15 +209,17 @@ def run_suite(
 
 
 def format_report(report: Dict) -> str:
-    lines = [f"{'benchmark':14s} {'ops':>10s} {'seconds':>9s} {'rate':>14s}"]
+    width = max([14] + [len(name) for name in report["results"]])
+    lines = [f"{'benchmark':{width}s} {'ops':>10s} {'seconds':>9s} {'rate':>14s}"]
     for name, row in report["results"].items():
-        rate = (
-            f"{row['value']:,.0f} op/s"
-            if row["metric"] == "ops_per_sec"
-            else f"{row['value']:.2f} s"
-        )
+        if row["metric"] == "ops_per_sec":
+            rate = f"{row['value']:,.0f} op/s"
+        elif row["metric"] == "ratio":
+            rate = f"{row['value']:.2f}x"
+        else:
+            rate = f"{row['value']:.2f} s"
         lines.append(
-            f"{name:14s} {row['ops']:>10,d} {row['seconds']:>9.3f} {rate:>14s}"
+            f"{name:{width}s} {row['ops']:>10,d} {row['seconds']:>9.3f} {rate:>14s}"
         )
     return "\n".join(lines)
 
@@ -247,7 +249,7 @@ def merge_before_after(before: Dict, after: Dict) -> Dict:
         prior = before["results"].get(name)
         if prior is not None:
             entry["before"] = prior["value"]
-            if row["metric"] == "ops_per_sec":
+            if row["metric"] in ("ops_per_sec", "ratio"):
                 entry["speedup"] = row["value"] / prior["value"] if prior["value"] else 0.0
             else:
                 entry["speedup"] = prior["value"] / row["value"] if row["value"] else 0.0
@@ -275,8 +277,9 @@ def check_against_baseline(
     """CI gate: list of failure strings (empty = no regression).
 
     A benchmark fails when its measured rate is more than ``max_regress``
-    worse than the committed baseline — ops/sec below ``(1 - r) * base``,
-    or wall seconds above ``base / (1 - r)``.
+    worse than the committed baseline — ops/sec (or a ``ratio`` such as
+    the grid suite's dispatch speedup, where higher is likewise better)
+    below ``(1 - r) * base``, or wall seconds above ``base / (1 - r)``.
     """
     if not 0 < max_regress < 1:
         raise ValueError("max_regress must be in (0, 1)")
@@ -294,6 +297,13 @@ def check_against_baseline(
                 failures.append(
                     f"{name}: {row['value']:,.0f} op/s < floor {floor:,.0f} "
                     f"(baseline {base_value:,.0f})"
+                )
+        elif metric == "ratio":
+            floor = (1.0 - max_regress) * base_value
+            if row["value"] < floor:
+                failures.append(
+                    f"{name}: {row['value']:.2f}x < floor {floor:.2f}x "
+                    f"(baseline {base_value:.2f}x)"
                 )
         else:
             ceiling = base_value / (1.0 - max_regress)

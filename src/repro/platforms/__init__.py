@@ -7,7 +7,13 @@ from .pipeline import PipelineRunner
 from .query import QueryLatencyResult, measure_query_latency
 from .registry import BG_ORDER, PLATFORMS, platform_by_name, platform_names
 from .result import BatchTiming, RunResult
-from .runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_grid, run_platform
+from .runner import (
+    DEFAULT_SCALED_NODES,
+    PlatformRun,
+    PreparedWorkload,
+    run_grid,
+    run_platform,
+)
 from .scaleout import (
     P2pLink,
     ScaleOutOutcome,
@@ -33,6 +39,7 @@ __all__ = [
     "RunResult",
     "BatchTiming",
     "run_platform",
+    "PlatformRun",
     "run_grid",
     "PreparedWorkload",
     "DEFAULT_SCALED_NODES",

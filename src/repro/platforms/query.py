@@ -14,7 +14,7 @@ from typing import List, Optional, Union
 
 from ..ssd.config import SSDConfig
 from ..workloads.specs import WorkloadSpec
-from .runner import PreparedWorkload, run_platform
+from .runner import DEFAULT_SCALED_NODES, PreparedWorkload
 
 __all__ = ["QueryLatencyResult", "measure_query_latency"]
 
@@ -48,28 +48,63 @@ def measure_query_latency(
     fanout: int = 3,
     ssd_config: Optional[SSDConfig] = None,
     seed: int = 0,
+    jobs: Optional[int] = 1,
+    cache=None,
+    image_cache=None,
+    require_cached: bool = False,
+    chunk: Optional[int] = None,
 ) -> QueryLatencyResult:
     """End-to-end latency of small inference batches.
 
     Each query is simulated as its own run (prep + compute, nothing to
     pipeline against), which is exactly the latency a single inference
-    request observes on an otherwise idle device.
+    request observes on an otherwise idle device. Queries fan out as one
+    :func:`~repro.orchestrate.run_grid` cell per query — batched
+    dispatch, ``cache``/``image_cache`` reuse, and bit-identity across
+    ``jobs`` all apply. ``require_cached=True`` raises ``KeyError`` on
+    any miss instead of simulating (the warm-cache figure path).
     """
+    from ..orchestrate.grid import (
+        GridCell,
+        adopt_prepared,
+        outcome_from_cache,
+        run_grid,
+    )
+
     if num_queries < 1:
         raise ValueError("need at least one query")
-    latencies = []
-    for q in range(num_queries):
-        result = run_platform(
-            platform,
-            workload,
+    if isinstance(workload, PreparedWorkload):
+        adopt_prepared(workload)
+        spec = workload.spec
+        scaled_nodes = spec.num_nodes
+    else:
+        # mirror run_platform's scaling rule via GridCell.resolved_workload
+        spec = workload
+        scaled_nodes = DEFAULT_SCALED_NODES
+    cells = [
+        GridCell(
+            platform=platform,
+            workload=spec,
             ssd_config=ssd_config,
             batch_size=batch_size,
             num_batches=1,
             num_hops=num_hops,
             fanout=fanout,
             seed=seed + q,
+            scaled_nodes=scaled_nodes,
         )
-        latencies.append(result.total_seconds)
+        for q in range(num_queries)
+    ]
+    if require_cached:
+        if cache is None:
+            raise ValueError("require_cached needs a result cache")
+        grid = outcome_from_cache(cells, cache)
+    else:
+        grid = run_grid(
+            cells, jobs=jobs, cache=cache, image_cache=image_cache, chunk=chunk
+        )
     return QueryLatencyResult(
-        platform=platform, batch_size=batch_size, latencies_s=latencies
+        platform=platform,
+        batch_size=batch_size,
+        latencies_s=[r.total_seconds for r in grid.results],
     )

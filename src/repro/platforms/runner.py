@@ -35,7 +35,13 @@ from .pipeline import PipelineRunner
 from .registry import platform_by_name
 from .result import RunResult
 
-__all__ = ["PreparedWorkload", "run_platform", "run_grid", "DEFAULT_SCALED_NODES"]
+__all__ = [
+    "PreparedWorkload",
+    "PlatformRun",
+    "run_platform",
+    "run_grid",
+    "DEFAULT_SCALED_NODES",
+]
 
 DEFAULT_SCALED_NODES = 4096
 
@@ -107,6 +113,167 @@ def _pick_targets(
     ]
 
 
+class PlatformRun:
+    """One platform simulation, set up eagerly and steppable cooperatively.
+
+    Construction does everything up to (but not including) driving the
+    event loop: workload preparation, device/engine wiring, batch target
+    selection, and pipeline launch. From there the owner either calls
+    :meth:`run` (the blocking form — exactly what :func:`run_platform`
+    does) or interleaves :meth:`step` slices with other live
+    ``PlatformRun`` instances and calls :meth:`finalize` once
+    :attr:`finished` — the batched grid executor
+    (:mod:`repro.orchestrate.batched`) hosts many of these in one
+    process. Both drive the same kernel delivery order, so the
+    :class:`RunResult` is bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        platform: Union[str, PlatformFeatures],
+        workload: Union[WorkloadSpec, PreparedWorkload],
+        *,
+        ssd_config: Optional[SSDConfig] = None,
+        batch_size: int = 64,
+        num_batches: int = 3,
+        num_hops: int = 3,
+        fanout: int = 3,
+        hidden_dim: int = 128,
+        seed: int = 0,
+        scaled_nodes: int = DEFAULT_SCALED_NODES,
+        energy_coefficients: Optional[EnergyCoefficients] = None,
+        pipeline_overlap: bool = True,
+        background_io: Optional["BackgroundIoConfig"] = None,
+        sample_trace: bool = False,
+    ):
+        if isinstance(platform, str):
+            platform = platform_by_name(platform)
+        config = ssd_config or ull_ssd()
+        if isinstance(workload, WorkloadSpec):
+            spec = (
+                workload
+                if workload.num_nodes <= scaled_nodes
+                else workload.scaled(scaled_nodes)
+            )
+            prepared = PreparedWorkload.prepare(spec, page_size=config.flash.page_size)
+        else:
+            prepared = workload
+            if prepared.image.spec.page_size != config.flash.page_size:
+                raise ValueError(
+                    f"prepared image page size {prepared.image.spec.page_size} "
+                    f"differs from SSD page size {config.flash.page_size}"
+                )
+
+        task = GnnTaskConfig(
+            num_hops=num_hops,
+            fanout=fanout,
+            feature_dim=prepared.spec.feature_dim,
+            seed=seed,
+        )
+        sim = Simulator()
+        prep = DataPrepEngine(
+            sim, config, platform, prepared.image, task, trace_samples=sample_trace
+        )
+        compute = ComputeEngine(
+            sim, prep.device, platform, task, hidden_dim, prep.meters
+        )
+        runner = PipelineRunner(sim, prep, compute, overlap=pipeline_overlap)
+        injector = None
+        if background_io is not None:
+            from .background import BackgroundIoInjector
+
+            injector = BackgroundIoInjector(sim, prep, background_io)
+        batches = _pick_targets(prepared.graph, batch_size, num_batches, seed + 1)
+        done = runner.run(batches)
+        if injector is not None:
+            done.add_callback(lambda _ev: injector.stop())
+
+        self.sim = sim
+        self._platform = platform
+        self._prepared = prepared
+        self._config = config
+        self._prep = prep
+        self._runner = runner
+        self._injector = injector
+        self._done = done
+        self._batch_size = batch_size
+        self._num_batches = num_batches
+        self._energy_coefficients = energy_coefficients
+        self._sample_trace = sample_trace
+        self._result: Optional[RunResult] = None
+
+    @property
+    def finished(self) -> bool:
+        """True once the event loop has drained (ready to finalize)."""
+        return self.sim.idle
+
+    def step(self, max_events: int = 1) -> int:
+        """Deliver at most ``max_events`` kernel entries; 0 means done."""
+        return self.sim.step(max_events)
+
+    def run(self) -> RunResult:
+        """Drive the simulation to completion and return the result."""
+        self.sim.run()
+        return self.finalize()
+
+    def finalize(self) -> RunResult:
+        """Collect the :class:`RunResult` after the event loop drained.
+
+        Idempotent — repeated calls return the same object. Raises if the
+        pipeline stalled (queues drained without the done event firing).
+        """
+        if self._result is not None:
+            return self._result
+        if not self._done.triggered:
+            raise RuntimeError("pipeline did not finish (simulation stalled)")
+        sim = self.sim
+        prep = self._prep
+        platform = self._platform
+        config = self._config
+
+        prep.device.close_trackers()
+        total = sim.now
+        meters = prep.meters
+        meters.totals["pcie_busy_s"] = prep.device.pcie.tracker.busy_time(0.0, total)
+        meters.totals["dram_busy_s"] = prep.device.dram.tracker.busy_time(0.0, total)
+        meters.totals["host_threads"] = config.host.num_threads
+        meters.totals["fw_cores"] = config.firmware.num_cores
+
+        result = RunResult(
+            platform=platform.name,
+            workload=self._prepared.spec.name,
+            batch_size=self._batch_size,
+            num_batches=self._num_batches,
+            total_seconds=total,
+            batches=self._runner.timings,
+            stage_agg=prep.stage_agg,
+            hop_timeline=prep.hop_timeline,
+            meters=meters,
+            die_trackers=prep.device.flash.die_trackers(),
+            channel_trackers=prep.device.flash.channel_trackers(),
+            firmware_busy_seconds=prep.device.firmware_busy_seconds(),
+        )
+        report = attribute_energy(
+            meters=meters.as_dict(),
+            firmware_busy_s=result.firmware_busy_seconds,
+            flash_busy_s=sum(t.busy_time(0.0, total) for t in result.die_trackers),
+            channel_bytes=prep.device.flash.channel_bytes,
+            total_seconds=total,
+            total_targets=result.total_targets,
+            coeff=self._energy_coefficients,
+        )
+        result.energy_breakdown = dict(report.categories)
+        result.meters.totals["energy_total_j"] = report.total_joules
+        result.meters.totals["energy_watts"] = report.average_watts
+        result.meters.totals["targets_per_joule"] = report.targets_per_joule
+        if self._injector is not None:
+            result.background_io = self._injector.stats
+        if self._sample_trace:
+            result.sample_trace = prep.sample_traces
+        self._result = result
+        return result
+
+
 def run_platform(
     platform: Union[str, PlatformFeatures],
     workload: Union[WorkloadSpec, PreparedWorkload],
@@ -134,88 +301,25 @@ def run_platform(
     :class:`~repro.platforms.datapath.DataPrepEngine`); the scale-out
     array model uses it to measure cross-partition traffic. Tracing never
     changes simulated timing.
+
+    The blocking convenience form of :class:`PlatformRun`.
     """
-    if isinstance(platform, str):
-        platform = platform_by_name(platform)
-    config = ssd_config or ull_ssd()
-    if isinstance(workload, WorkloadSpec):
-        spec = workload if workload.num_nodes <= scaled_nodes else workload.scaled(scaled_nodes)
-        prepared = PreparedWorkload.prepare(spec, page_size=config.flash.page_size)
-    else:
-        prepared = workload
-        if prepared.image.spec.page_size != config.flash.page_size:
-            raise ValueError(
-                f"prepared image page size {prepared.image.spec.page_size} "
-                f"differs from SSD page size {config.flash.page_size}"
-            )
-
-    task = GnnTaskConfig(
-        num_hops=num_hops,
-        fanout=fanout,
-        feature_dim=prepared.spec.feature_dim,
-        seed=seed,
-    )
-    sim = Simulator()
-    prep = DataPrepEngine(
-        sim, config, platform, prepared.image, task, trace_samples=sample_trace
-    )
-    compute = ComputeEngine(
-        sim, prep.device, platform, task, hidden_dim, prep.meters
-    )
-    runner = PipelineRunner(sim, prep, compute, overlap=pipeline_overlap)
-    injector = None
-    if background_io is not None:
-        from .background import BackgroundIoInjector
-
-        injector = BackgroundIoInjector(sim, prep, background_io)
-    batches = _pick_targets(prepared.graph, batch_size, num_batches, seed + 1)
-    done = runner.run(batches)
-    if injector is not None:
-        done.add_callback(lambda _ev: injector.stop())
-    sim.run()
-    if not done.triggered:
-        raise RuntimeError("pipeline did not finish (simulation stalled)")
-
-    prep.device.close_trackers()
-    total = sim.now
-    meters = prep.meters
-    meters.totals["pcie_busy_s"] = prep.device.pcie.tracker.busy_time(0.0, total)
-    meters.totals["dram_busy_s"] = prep.device.dram.tracker.busy_time(0.0, total)
-    meters.totals["host_threads"] = config.host.num_threads
-    meters.totals["fw_cores"] = config.firmware.num_cores
-
-    result = RunResult(
-        platform=platform.name,
-        workload=prepared.spec.name,
+    return PlatformRun(
+        platform,
+        workload,
+        ssd_config=ssd_config,
         batch_size=batch_size,
         num_batches=num_batches,
-        total_seconds=total,
-        batches=runner.timings,
-        stage_agg=prep.stage_agg,
-        hop_timeline=prep.hop_timeline,
-        meters=meters,
-        die_trackers=prep.device.flash.die_trackers(),
-        channel_trackers=prep.device.flash.channel_trackers(),
-        firmware_busy_seconds=prep.device.firmware_busy_seconds(),
-    )
-    report = attribute_energy(
-        meters=meters.as_dict(),
-        firmware_busy_s=result.firmware_busy_seconds,
-        flash_busy_s=sum(t.busy_time(0.0, total) for t in result.die_trackers),
-        channel_bytes=prep.device.flash.channel_bytes,
-        total_seconds=total,
-        total_targets=result.total_targets,
-        coeff=energy_coefficients,
-    )
-    result.energy_breakdown = dict(report.categories)
-    result.meters.totals["energy_total_j"] = report.total_joules
-    result.meters.totals["energy_watts"] = report.average_watts
-    result.meters.totals["targets_per_joule"] = report.targets_per_joule
-    if injector is not None:
-        result.background_io = injector.stats
-    if sample_trace:
-        result.sample_trace = prep.sample_traces
-    return result
+        num_hops=num_hops,
+        fanout=fanout,
+        hidden_dim=hidden_dim,
+        seed=seed,
+        scaled_nodes=scaled_nodes,
+        energy_coefficients=energy_coefficients,
+        pipeline_overlap=pipeline_overlap,
+        background_io=background_io,
+        sample_trace=sample_trace,
+    ).run()
 
 
 def run_grid(cells, **kwargs):

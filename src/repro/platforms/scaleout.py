@@ -256,10 +256,11 @@ def scaleout_outcome(
     link: Optional[P2pLink] = None,
     ssd_config: Optional[SSDConfig] = None,
     seed: int = 0,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     cache=None,
     image_cache=None,
     require_cached: bool = False,
+    chunk: Optional[int] = None,
 ) -> ScaleOutOutcome:
     """Simulate an N-device BeaconGNN array, with caching and fan-out.
 
@@ -365,7 +366,9 @@ def scaleout_outcome(
         )
         for s in range(num_devices)
     ]
-    grid = run_grid(cells, jobs=jobs, cache=cache, image_cache=image_cache)
+    grid = run_grid(
+        cells, jobs=jobs, cache=cache, image_cache=image_cache, chunk=chunk
+    )
     devices: List[RunResult] = grid.results
 
     # Measured exchange: every sampled position whose node hashes to a
@@ -464,9 +467,10 @@ def run_scaleout(
     link: Optional[P2pLink] = None,
     ssd_config: Optional[SSDConfig] = None,
     seed: int = 0,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     cache=None,
     image_cache=None,
+    chunk: Optional[int] = None,
 ) -> ScaleOutResult:
     """Simulate an N-device BeaconGNN array on one workload.
 
@@ -489,4 +493,5 @@ def run_scaleout(
         jobs=jobs,
         cache=cache,
         image_cache=image_cache,
+        chunk=chunk,
     ).result

@@ -29,6 +29,14 @@ predates every fast entry. This keeps delivery order bit-identical to
 the single-heap kernel (asserted by the golden-order and
 payload-identity regression tests).
 
+Besides the blocking :meth:`Simulator.run`, the kernel is resumable:
+:meth:`Simulator.step` delivers a bounded number of entries and returns,
+and :meth:`Simulator.run_until_idle` loops ``step`` to completion. A
+simulation driven by any interleaving of ``step`` slices delivers in
+exactly the order one ``run()`` call would — the batched grid executor
+(:mod:`repro.orchestrate.batched`) relies on this to host many live
+kernels in one process.
+
 Two further allocation savers, both invisible to delivery order:
 
 * fast-lane entries are the bare event (no entry tuple), and
@@ -478,6 +486,11 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    @property
+    def idle(self) -> bool:
+        """True when both lanes are empty (nothing left to deliver)."""
+        return not (self._fast or self._queue)
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until both lanes drain or simulated time reaches ``until``."""
         fast = self._fast
@@ -643,3 +656,162 @@ class Simulator:
             self._seq += ops
         if check:
             self.now = max(self.now, until)
+
+    def step(self, max_events: int = 1) -> int:
+        """Deliver at most ``max_events`` queue entries, then return.
+
+        The resumable form of :meth:`run`: driving a simulation through
+        any sequence of ``step`` slices delivers in exactly the order a
+        single ``run()`` call would (each slice picks up precisely where
+        the previous one stopped, and per-entry handling below is an
+        inlined copy of the ``run`` loop body — keep the two in sync).
+        Returns the number of entries delivered; ``0`` means the
+        simulation is idle. Fast-lane callback pairs and heap callback
+        entries count toward the budget like ordinary event deliveries,
+        so a slice always terminates.
+        """
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1: {max_events}")
+        fast = self._fast
+        queue = self._queue
+        popleft = fast.popleft
+        heappop = _heappop
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        process_pool = self._process_pool
+        getref = _getrefcount
+        pool_max = _POOL_MAX
+        pool_refs = _POOL_REFS
+        t_timeout = Timeout
+        t_event = Event
+        t_process = Process
+        _len = len
+        _isinstance = isinstance
+        now = self.now
+        delivered = 0
+        ops = 0
+        try:
+            while delivered < max_events:
+                if fast:
+                    if queue and queue[0][0] == now:
+                        # heap entry at the current timestamp: predates
+                        # every fast entry (see class docstring)
+                        delivered += 1
+                        _at, _seq, event, fn = heappop(queue)
+                        if fn is not None:
+                            if event is None:
+                                fn()
+                            else:
+                                fn(event)
+                            continue
+                    else:
+                        ops += 1
+                        delivered += 1
+                        event = popleft()
+                        if type(event) is tuple:
+                            event, fn = event
+                            if event is None:
+                                fn()
+                            else:
+                                fn(event)
+                            continue
+                elif queue:
+                    delivered += 1
+                    at, _seq, event, fn = heappop(queue)
+                    if at < now:
+                        raise SimulationError("time went backwards")
+                    self.now = now = at
+                    if fn is not None:
+                        if event is None:
+                            fn()
+                        else:
+                            fn(event)
+                        continue
+                else:
+                    break
+                event._processed = True
+                callbacks = event.callbacks
+                if callbacks:
+                    if _len(callbacks) == 1:
+                        cb = callbacks.pop()
+                        if type(cb) is t_process:
+                            # inlined copy of Process._on_event (see run())
+                            exc = event._exc
+                            if exc is not None:
+                                cb._resume(None, exc)
+                            else:
+                                try:
+                                    target = cb._gen.send(event._value)
+                                except StopIteration as stop:
+                                    target = None
+                                    cb.succeed(stop.value)
+                                except BaseException as err:
+                                    if _isinstance(
+                                        err, (KeyboardInterrupt, SystemExit)
+                                    ):
+                                        raise
+                                    target = None
+                                    cb.fail(err)
+                                else:
+                                    if (
+                                        _isinstance(target, t_event)
+                                        and not target._processed
+                                    ):
+                                        target.callbacks.append(cb)
+                                    else:
+                                        cb._wait_on(target)
+                        else:
+                            cb(event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
+                        callbacks.clear()
+                    if getref is not None:
+                        kind = type(event)
+                        if kind is t_event:
+                            if (
+                                _len(event_pool) < pool_max
+                                and getref(event) == pool_refs
+                            ):
+                                event._value = None
+                                event._exc = None
+                                event._triggered = False
+                                event._processed = False
+                                event_pool.append(event)
+                        elif kind is t_timeout:
+                            if (
+                                _len(timeout_pool) < pool_max
+                                and getref(event) == pool_refs
+                            ):
+                                event._value = None
+                                event._processed = False
+                                timeout_pool.append(event)
+                        elif kind is t_process:
+                            if (
+                                _len(process_pool) < pool_max
+                                and getref(event) == pool_refs
+                            ):
+                                event._gen = None
+                                event._value = None
+                                event._exc = None
+                                event._triggered = False
+                                event._processed = False
+                                process_pool.append(event)
+                elif isinstance(event, Process) and event._exc is not None:
+                    raise event._exc
+        finally:
+            self._seq += ops
+        return delivered
+
+    def run_until_idle(self, slice_events: int = 4096) -> int:
+        """Loop :meth:`step` until idle; returns total entries delivered.
+
+        Semantically equivalent to :meth:`run` with no horizon, in
+        resumable slices of ``slice_events``.
+        """
+        total = 0
+        while True:
+            n = self.step(slice_events)
+            total += n
+            if n < slice_events:
+                return total

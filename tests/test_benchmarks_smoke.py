@@ -22,7 +22,11 @@ import pytest
 
 from repro.directgraph import ImageCache
 from repro.orchestrate import GridCell, ResultCache, run_grid
-from repro.platforms import PreparedWorkload
+from repro.platforms import (
+    PreparedWorkload,
+    measure_query_latency,
+    scaleout_outcome,
+)
 from repro.workloads import workload_by_name
 
 BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
@@ -47,7 +51,11 @@ class _SmokeBenchmark:
 def smoke_fixtures(tmp_path_factory):
     """Miniature stand-ins for everything benchmarks/conftest.py provides."""
     env = SimpleNamespace(
-        nodes=SMOKE_NODES, batch=SMOKE_BATCH, nbatch=SMOKE_NBATCH, jobs=1
+        nodes=SMOKE_NODES,
+        batch=SMOKE_BATCH,
+        nbatch=SMOKE_NBATCH,
+        jobs=1,
+        chunk=None,
     )
     cache = ResultCache(tmp_path_factory.mktemp("bench-smoke-cache"))
     icache = ImageCache(tmp_path_factory.mktemp("bench-smoke-images"))
@@ -80,6 +88,16 @@ def smoke_fixtures(tmp_path_factory):
         cell = make_cell(platform, workload, ssd_config=ssd_config, **kwargs)
         return grid_runner([cell]).results[0]
 
+    def scaleout_runner(num_devices, platform, workload, **kwargs):
+        return scaleout_outcome(
+            num_devices, platform, workload, jobs=env.jobs, cache=cache, **kwargs
+        ).result
+
+    def query_runner(platform, workload, **kwargs):
+        return measure_query_latency(
+            platform, workload, jobs=env.jobs, cache=cache, **kwargs
+        )
+
     return {
         "benchmark": _SmokeBenchmark(),
         "bench_env": env,
@@ -87,6 +105,8 @@ def smoke_fixtures(tmp_path_factory):
         "make_cell": make_cell,
         "grid_runner": grid_runner,
         "run_cache": run_cache,
+        "scaleout_runner": scaleout_runner,
+        "query_runner": query_runner,
         "grid_cache": cache,
         "image_cache": icache,
         "bench_from_cache": False,
@@ -110,6 +130,9 @@ def test_benchmark_smoke(bench_file, smoke_fixtures, capsys, monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_INFLATION_NODES", "5000")
     monkeypatch.setenv("REPRO_BENCH_KERNEL_SCALE", "0.02")
     monkeypatch.setenv("REPRO_BENCH_KERNEL_REPEAT", "1")
+    monkeypatch.setenv("REPRO_BENCH_GRID_CELLS", "4")
+    monkeypatch.setenv("REPRO_BENCH_GRID_REPEAT", "1")
+    monkeypatch.setenv("REPRO_BENCH_GRID_JOBS", "2")
     module = _load_module(bench_file)
     entry_points = [
         (name, fn)

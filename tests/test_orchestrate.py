@@ -223,7 +223,14 @@ class TestRunGrid:
 
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):
-            run_grid([], jobs=0)
+            run_grid([], jobs=-1)
+        with pytest.raises(ValueError):
+            run_grid([], chunk=0)
+
+    def test_jobs_auto_detect(self):
+        # 0 and None both mean "detect from CPU affinity"
+        assert run_grid([], jobs=0).results == []
+        assert run_grid([], jobs=None).results == []
 
     def test_platforms_run_grid_entry_point(self):
         from repro.platforms import run_grid as platform_run_grid

@@ -1,0 +1,195 @@
+"""The resumable kernel: ``step(max_events)`` / ``run_until_idle()``.
+
+The batched grid executor interleaves many live kernels by slicing each
+one with ``step``. These tests pin the contract that makes that safe:
+any interleaving of slices delivers in exactly the order a single
+``run()`` call would, budgets are honoured, and the recycling pools and
+failure paths behave identically to the blocking form.
+"""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulator
+from repro.sim.kernel import SimulationError
+
+from test_kernel_ordering import GOLDEN_TRACE, _run_scenario
+
+
+def _build_scenario_sim():
+    """The mixed golden scenario from test_kernel_ordering, unstarted."""
+    sim = Simulator()
+    log = []
+
+    def child():
+        log.append((sim.now, "child.0"))
+        yield sim.timeout(0.0)
+        log.append((sim.now, "child.1"))
+
+    def spawner():
+        log.append((sim.now, "spawn"))
+        yield sim.process(child())
+        log.append((sim.now, "joined"))
+
+    def waiter(name, delays):
+        for i, d in enumerate(delays):
+            yield sim.timeout(d)
+            log.append((sim.now, f"{name}.{i}"))
+
+    gate = sim.event()
+
+    def opener():
+        yield sim.timeout(0.5)
+        log.append((sim.now, "open"))
+        gate.succeed("key")
+
+    def gated(name):
+        value = yield gate
+        log.append((sim.now, f"{name}:{value}"))
+
+    def late_gated():
+        yield sim.timeout(1.0)
+        value = yield gate
+        log.append((sim.now, f"late:{value}"))
+
+    def fan_in():
+        vals = yield AllOf(
+            sim, [sim.timeout(1.5, "a"), sim.timeout(0.75, "b"), sim.timeout(1.5, "c")]
+        )
+        log.append((sim.now, "all:" + ",".join(vals)))
+        idx, val = yield AnyOf(sim, [sim.timeout(9.0, "slow"), sim.timeout(0.0, "now")])
+        log.append((sim.now, f"any:{idx}:{val}"))
+
+    sim.process(spawner())
+    sim.process(waiter("w1", [0.25, 0.25, 0.5]))
+    sim.process(waiter("w2", [0.5, 0.5]))
+    sim.process(opener())
+    sim.process(gated("g1"))
+    sim.process(gated("g2"))
+    sim.process(late_gated())
+    sim.process(fan_in())
+    return sim, log
+
+
+@pytest.mark.parametrize("slice_events", [1, 2, 3, 7, 4096])
+def test_step_driven_scenario_matches_golden_trace(slice_events):
+    """Any slice size delivers the golden scenario in run()'s order."""
+    sim, log = _build_scenario_sim()
+    while sim.step(slice_events):
+        pass
+    assert log == GOLDEN_TRACE
+    assert sim.idle
+
+
+def test_run_until_idle_matches_run():
+    stepped_sim, stepped_log = _build_scenario_sim()
+    stepped_sim.run_until_idle(slice_events=5)
+    assert stepped_log == _run_scenario() == GOLDEN_TRACE
+
+
+def test_step_and_run_interleave():
+    """A simulation may switch freely between step slices and run()."""
+    sim, log = _build_scenario_sim()
+    sim.step(4)
+    sim.run()
+    assert log == GOLDEN_TRACE
+
+
+def _churning_sim(n):
+    sim = Simulator()
+
+    def churn():
+        for _ in range(n):
+            yield sim.event().succeed("t")
+
+    sim.process(churn())
+    return sim
+
+
+def test_step_budget_and_idle_signal():
+    sim = _churning_sim(10)
+    n = sim.step(3)
+    assert n == 3 and not sim.idle
+    total = n
+    while True:
+        n = sim.step(3)
+        if n == 0:
+            break
+        total += n
+    assert sim.idle
+    assert sim.step(1) == 0  # idle steps stay idle
+    # the stepped sim's exact op count matches a run()-driven twin
+    twin = _churning_sim(10)
+    twin.run()
+    assert sim._seq == twin._seq
+    assert sim.now == twin.now
+
+
+def test_step_rejects_bad_budget():
+    with pytest.raises(ValueError):
+        Simulator().step(0)
+
+
+def test_run_until_idle_counts_deliveries():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1.0)
+        yield sim.event().succeed("x")
+
+    sim.process(worker())
+    delivered = sim.run_until_idle(slice_events=2)
+    assert delivered > 0 and sim.idle
+    assert sim.now == 1.0
+
+
+def test_interleaved_simulations_stay_independent():
+    """Round-robin slices over two kernels reproduce their solo traces."""
+
+    def build(tag):
+        sim = Simulator()
+        log = []
+
+        def hop(i):
+            yield sim.timeout(0.5 * (i % 3))
+            log.append((sim.now, f"{tag}{i}"))
+            yield sim.timeout(0.25)
+            log.append((sim.now, f"{tag}{i}b"))
+
+        for i in range(6):
+            sim.process(hop(i))
+        return sim, log
+
+    solo_a = build("a")
+    solo_a[0].run()
+    solo_b = build("b")
+    solo_b[0].run()
+
+    sim_a, log_a = build("a")
+    sim_b, log_b = build("b")
+    live = [sim_a, sim_b]
+    while live:
+        live = [sim for sim in live if sim.step(2)]
+    assert log_a == solo_a[1]
+    assert log_b == solo_b[1]
+
+
+def test_step_propagates_unwaited_process_failure():
+    sim = Simulator()
+
+    def dying():
+        yield sim.timeout(0.1)
+        raise RuntimeError("boom")
+
+    sim.process(dying())
+    with pytest.raises(RuntimeError, match="boom"):
+        while sim.step(1):
+            pass
+
+
+def test_step_recycles_events_like_run():
+    sim = _churning_sim(50)
+    while sim.step(5):
+        pass
+    assert len(sim._event_pool) >= 1
+    pooled = sim._event_pool[-1]
+    assert pooled._triggered is False and pooled._processed is False
