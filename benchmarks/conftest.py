@@ -209,6 +209,38 @@ def query_runner(bench_env, grid_cache, image_cache, bench_from_cache):
 
 
 @pytest.fixture(scope="session")
+def serving_runner(bench_env, grid_cache, image_cache, bench_from_cache):
+    """Cached open-loop serving sweeps (latency vs offered QPS).
+
+    All sweeps in the session share one :class:`BatchService`, so a
+    batch simulated for one platform/rate is a memo hit everywhere else
+    it recurs; ``--from-cache`` renders whole sweep points from cached
+    serving documents (or their cells) and raises on any miss.
+    """
+    from repro.serving import BatchService, sweep_serving
+
+    service = BatchService(
+        jobs=bench_env.jobs,
+        cache=grid_cache,
+        image_cache=image_cache,
+        require_cached=bench_from_cache,
+        chunk=bench_env.chunk,
+    )
+
+    def run(platform, workload, qps_grid, **kwargs):
+        return sweep_serving(
+            platform,
+            workload,
+            qps_grid,
+            cache=grid_cache,
+            service=service,
+            **kwargs,
+        )
+
+    return run
+
+
+@pytest.fixture(scope="session")
 def run_cache(grid_runner, make_cell):
     """One platform run; cached by content, shared across all benchmarks.
 

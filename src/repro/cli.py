@@ -6,6 +6,7 @@ Subcommands
 ``compare``  run all platforms on one workload (mini Figure 14)
 ``sweep``    sweep one architecture knob (a Figure 18 slice)
 ``scaleout`` sharded N-SSD array simulation (Section VIII)
+``serve``    open-loop serving load sweep: p50/p99 latency vs offered QPS
 ``inflate``  DirectGraph storage-inflation report (Table IV)
 ``info``     print the Table II configuration and platform list
 ``cache``    result/image-cache maintenance (``stats`` / ``clear`` / ``prune``)
@@ -89,6 +90,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="load cached array results only; fail instead of simulating",
     )
     _common_run_args(scaleout)
+
+    serve = sub.add_parser(
+        "serve", help="open-loop serving load sweep (latency vs offered QPS)"
+    )
+    serve.add_argument("--platform", default="bg2")
+    serve.add_argument("--workload", default="amazon")
+    serve.add_argument(
+        "--qps",
+        default="10,20,40,80",
+        help="comma-separated offered average rates (queries/s)",
+    )
+    serve.add_argument(
+        "--queries", type=int, default=32, help="queries served per sweep point"
+    )
+    serve.add_argument(
+        "--arrival",
+        choices=["poisson", "onoff"],
+        default="poisson",
+        help="traffic shape (onoff: bursty Markov-modulated)",
+    )
+    serve.add_argument(
+        "--on-ms", type=float, default=20.0, help="onoff: mean burst duration"
+    )
+    serve.add_argument(
+        "--off-ms", type=float, default=80.0, help="onoff: mean silence duration"
+    )
+    serve.add_argument(
+        "--query-batch",
+        type=int,
+        default=1,
+        help="inference targets per query",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=1,
+        help="dynamic batching: queries per dispatched batch",
+    )
+    serve.add_argument(
+        "--batch-timeout-us",
+        type=float,
+        default=0.0,
+        help="dispatch a partial batch once its oldest query waited this long",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admission control: arrivals beyond this queue length are shed",
+    )
+    serve.add_argument(
+        "--max-live", type=int, default=1, help="concurrent batches in service"
+    )
+    serve.add_argument("--nodes", type=int, default=2048, help="scaled node count")
+    serve.add_argument("--hops", type=int, default=3)
+    serve.add_argument("--fanout", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--traditional", action="store_true", help="20us-read flash (Sec VII-E)"
+    )
+    serve.add_argument(
+        "--from-cache",
+        action="store_true",
+        help="load cached serving results only; fail instead of simulating",
+    )
+    serve.add_argument(
+        "--slo-p99-us",
+        type=float,
+        default=None,
+        help="gate: exit 1 unless p99 at the lowest offered rate meets this",
+    )
+    _infra_args(serve)
 
     inflate = sub.add_parser("inflate", help="Table IV inflation report")
     inflate.add_argument("--nodes", type=int, default=60_000)
@@ -198,6 +271,11 @@ def _common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--traditional", action="store_true", help="20us-read flash (Sec VII-E)"
     )
+    _infra_args(parser)
+
+
+def _infra_args(parser: argparse.ArgumentParser) -> None:
+    """Grid-execution knobs shared by every simulating subcommand."""
     parser.add_argument(
         "--jobs",
         type=_jobs_arg,
@@ -481,6 +559,93 @@ def cmd_scaleout(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serving import sweep_serving
+
+    qps_grid = [float(v) for v in args.qps.split(",")]
+    spec = workload_by_name(args.workload)
+    if spec.num_nodes > args.nodes:
+        spec = spec.scaled(args.nodes)
+    try:
+        sweep = sweep_serving(
+            platform_by_name(args.platform).name,
+            spec,
+            qps_grid,
+            arrival_kind=args.arrival,
+            on_s=args.on_ms / 1e3,
+            off_s=args.off_ms / 1e3,
+            num_queries=args.queries,
+            query_batch_size=args.query_batch,
+            max_batch=args.max_batch,
+            batch_timeout_s=args.batch_timeout_us / 1e6,
+            queue_depth=args.queue_depth,
+            max_live=args.max_live,
+            num_hops=args.hops,
+            fanout=args.fanout,
+            ssd_config=_config(args),
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=_result_cache(args),
+            image_cache=_image_cache(args),
+            require_cached=args.from_cache,
+            chunk=args.chunk,
+        )
+    except KeyError as err:
+        print(err.args[0])
+        return 2
+    rows = []
+    for row in sweep.rows():
+        rows.append(
+            (
+                f"{row['offered_qps']:,.1f}",
+                f"{row['achieved_qps']:,.1f}",
+                round(row["p50_s"] * 1e3, 3),
+                round(row["p99_s"] * 1e3, 3),
+                round(row["mean_batch"], 2),
+                int(row["shed"]),
+            )
+        )
+    print(
+        format_table(
+            ["offered QPS", "achieved QPS", "p50 ms", "p99 ms", "batch", "shed"],
+            rows,
+            title=(
+                f"{args.platform} serving {args.workload} "
+                f"({args.arrival} arrivals, {args.queries} queries/point)"
+            ),
+        )
+    )
+    knee = sweep.knee_qps
+    print(
+        f"knee: {knee:,.1f} QPS sustained"
+        if knee is not None
+        else "knee: below the lowest offered rate (overloaded everywhere)"
+    )
+    summary = (
+        f"[{sweep.cells_executed} simulated, {sweep.cell_cache_hits} from cache, "
+        f"{sweep.points_from_cache}/{len(sweep.outcomes)} points from cache]"
+    )
+    images_built = sum(o.images_built for o in sweep.outcomes)
+    image_hits = sum(o.image_hits for o in sweep.outcomes)
+    if images_built or image_hits:
+        summary += f" [images: {images_built} built, {image_hits} reused]"
+    print(summary)
+    if args.slo_p99_us is not None:
+        low = min(sweep.outcomes, key=lambda o: o.result.offered_qps).result
+        p99_us = low.p99_s * 1e6
+        if p99_us > args.slo_p99_us:
+            print(
+                f"SLO VIOLATION: p99 {p99_us:,.1f} us at "
+                f"{low.offered_qps:,.1f} QPS exceeds {args.slo_p99_us:,.1f} us"
+            )
+            return 1
+        print(
+            f"SLO ok: p99 {p99_us:,.1f} us at {low.offered_qps:,.1f} QPS "
+            f"within {args.slo_p99_us:,.1f} us"
+        )
+    return 0
+
+
 def cmd_cache(args) -> int:
     from pathlib import Path
 
@@ -644,6 +809,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "scaleout": cmd_scaleout,
+        "serve": cmd_serve,
         "inflate": cmd_inflate,
         "info": cmd_info,
         "cache": cmd_cache,

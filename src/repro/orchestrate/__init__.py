@@ -6,7 +6,12 @@ results whether the grid runs on one process or eight, cold or from the
 on-disk :class:`ResultCache`.
 """
 
-from .batched import auto_chunk_size, available_cpus, execute_batch
+from .batched import (
+    DEFAULT_MAX_IDLE_SWEEPS,
+    auto_chunk_size,
+    available_cpus,
+    execute_batch,
+)
 from .cache import CacheStats, ResultCache, default_cache_dir, stable_hash
 from .grid import (
     GridCell,
@@ -21,10 +26,13 @@ from .grid import (
 from .serialize import (
     RESULT_SCHEMA_VERSION,
     SCALEOUT_SCHEMA_VERSION,
+    SERVING_SCHEMA_VERSION,
     result_from_payload,
     result_to_payload,
     scaleout_from_payload,
     scaleout_to_payload,
+    serving_from_payload,
+    serving_to_payload,
 )
 
 __all__ = [
@@ -39,6 +47,7 @@ __all__ = [
     "execute_batch",
     "auto_chunk_size",
     "available_cpus",
+    "DEFAULT_MAX_IDLE_SWEEPS",
     "ResultCache",
     "CacheStats",
     "default_cache_dir",
@@ -49,4 +58,7 @@ __all__ = [
     "SCALEOUT_SCHEMA_VERSION",
     "scaleout_to_payload",
     "scaleout_from_payload",
+    "SERVING_SCHEMA_VERSION",
+    "serving_to_payload",
+    "serving_from_payload",
 ]

@@ -40,6 +40,7 @@ __all__ = [
     "auto_chunk_size",
     "DEFAULT_SLICE_EVENTS",
     "DEFAULT_MAX_LIVE",
+    "DEFAULT_MAX_IDLE_SWEEPS",
 ]
 
 # One slice is the unit of interleaving: large enough that slice
@@ -51,6 +52,12 @@ DEFAULT_SLICE_EVENTS = 50_000
 # live run owns a full device model) while still overlapping the
 # finalize/start bookkeeping of neighbouring cells.
 DEFAULT_MAX_LIVE = 4
+
+# Stall guard: a healthy kernel only ever delivers fewer events than the
+# slice budget when it has drained (``finished``); a run that repeatedly
+# comes up short *without* finishing is wedged, and the sweep loop must
+# fail loudly instead of spinning on it forever.
+DEFAULT_MAX_IDLE_SWEEPS = 8
 
 
 def available_cpus() -> int:
@@ -104,6 +111,7 @@ def execute_batch(
     max_live: int = DEFAULT_MAX_LIVE,
     slice_events: int = DEFAULT_SLICE_EVENTS,
     heartbeat: Optional[Callable[[Dict], None]] = None,
+    max_idle_sweeps: int = DEFAULT_MAX_IDLE_SWEEPS,
 ) -> List[Dict]:
     """Simulate a batch of cells cooperatively; payloads in job order.
 
@@ -113,13 +121,21 @@ def execute_batch(
     ``step(slice_events)`` slice, finalizes the ones that drained, and
     refills from the queue. ``heartbeat`` (if set) is called after every
     sweep with ``{"completed", "live", "total", "events"}``.
+
+    A run that delivers fewer than ``slice_events`` events without
+    reporting ``finished`` for ``max_idle_sweeps`` consecutive sweeps is
+    declared stalled and raises ``RuntimeError`` — the loop never spins
+    silently on a wedged kernel.
     """
     if max_live < 1:
         raise ValueError("max_live must be >= 1")
+    if max_idle_sweeps < 1:
+        raise ValueError("max_idle_sweeps must be >= 1")
     jobs = list(jobs)
     payloads: List[Optional[Dict]] = [None] * len(jobs)
     pending = deque(range(len(jobs)))
     live: List[Tuple[int, PlatformRun]] = []
+    idle_sweeps: Dict[int, int] = {}
     completed = 0
     events = 0
     while live or pending:
@@ -133,7 +149,22 @@ def execute_batch(
             if n < slice_events and run.finished:
                 payloads[i] = result_to_payload(run.finalize())
                 completed += 1
+                idle_sweeps.pop(i, None)
+            elif n < slice_events:
+                # Short slice with an unfinished kernel: stall suspect.
+                idle = idle_sweeps.get(i, 0) + 1
+                if idle >= max_idle_sweeps:
+                    raise RuntimeError(
+                        f"simulation stalled: job {i} of {len(jobs)} "
+                        f"delivered {n} < {slice_events} events in "
+                        f"{idle} consecutive sweeps without finishing "
+                        f"({completed}/{len(jobs)} cells completed, "
+                        f"{events} events total)"
+                    )
+                idle_sweeps[i] = idle
+                still_live.append((i, run))
             else:
+                idle_sweeps.pop(i, None)
                 still_live.append((i, run))
         live = still_live
         if heartbeat is not None:

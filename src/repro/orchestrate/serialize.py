@@ -22,10 +22,14 @@ __all__ = [
     "SCALEOUT_SCHEMA_VERSION",
     "scaleout_to_payload",
     "scaleout_from_payload",
+    "SERVING_SCHEMA_VERSION",
+    "serving_to_payload",
+    "serving_from_payload",
 ]
 
 RESULT_SCHEMA_VERSION = 1
 SCALEOUT_SCHEMA_VERSION = 1
+SERVING_SCHEMA_VERSION = 1
 
 
 def result_to_payload(result: RunResult) -> Dict:
@@ -67,3 +71,25 @@ def scaleout_from_payload(payload: Dict):
             f"expected {SCALEOUT_SCHEMA_VERSION})"
         )
     return ScaleOutResult.from_dict(payload["scaleout"])
+
+
+def serving_to_payload(result) -> Dict:
+    """Envelope around :meth:`ServingResult.to_dict`; plain JSON types."""
+    doc = {
+        "schema": SERVING_SCHEMA_VERSION,
+        "kind": "serving",
+        "serving": result.to_dict(),
+    }
+    return json.loads(json.dumps(doc, default=json_default))
+
+
+def serving_from_payload(payload: Dict):
+    from ..serving.simulator import ServingResult
+
+    schema = payload.get("schema")
+    if schema != SERVING_SCHEMA_VERSION or "serving" not in payload:
+        raise ValueError(
+            f"unsupported serving payload (schema {schema!r}, "
+            f"expected {SERVING_SCHEMA_VERSION})"
+        )
+    return ServingResult.from_dict(payload["serving"])

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..quantile import percentile
 from ..sim import Simulator
 from ..sim.stats import StageRecord
 from ..ssd.flash import FlashJob
@@ -59,8 +60,7 @@ class BackgroundIoStats:
     def p99_latency_s(self) -> float:
         if not self.latencies_s:
             return 0.0
-        ordered = sorted(self.latencies_s)
-        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        return percentile(self.latencies_s, 99.0)
 
     def to_dict(self) -> dict:
         return {

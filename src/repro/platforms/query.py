@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
+from ..quantile import mean, percentile
 from ..ssd.config import SSDConfig
 from ..workloads.specs import WorkloadSpec
 from .runner import DEFAULT_SCALED_NODES, PreparedWorkload
@@ -21,7 +22,14 @@ __all__ = ["QueryLatencyResult", "measure_query_latency"]
 
 @dataclass
 class QueryLatencyResult:
-    """Per-query latency statistics for one platform."""
+    """Per-query latency statistics for one platform.
+
+    Statistics come from the shared :mod:`repro.quantile` helpers:
+    ``p99_s`` is the linear-interpolation estimator (the old
+    nearest-rank truncation returned the plain maximum for every sample
+    of 100 queries or fewer), and an empty latency list raises
+    ``ValueError`` instead of ``ZeroDivisionError``/``IndexError``.
+    """
 
     platform: str
     batch_size: int
@@ -29,13 +37,15 @@ class QueryLatencyResult:
 
     @property
     def mean_s(self) -> float:
-        return sum(self.latencies_s) / len(self.latencies_s)
+        return mean(self.latencies_s)
+
+    @property
+    def p50_s(self) -> float:
+        return percentile(self.latencies_s, 50.0)
 
     @property
     def p99_s(self) -> float:
-        ordered = sorted(self.latencies_s)
-        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
-        return ordered[index]
+        return percentile(self.latencies_s, 99.0)
 
 
 def measure_query_latency(

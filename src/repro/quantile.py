@@ -1,0 +1,75 @@
+"""Shared percentile/latency-summary helpers (dependency-free leaf module).
+
+Every latency consumer in the repo — the closed-loop query harness
+(:mod:`repro.platforms.query`), the background-I/O injector stats, and
+the open-loop serving simulator (:mod:`repro.serving`) — reports tail
+percentiles off small samples, where the naive nearest-rank estimator
+``sorted(v)[int(0.99 * len(v))]`` is badly behaved: for every ``n <=
+100`` the index truncates to ``n - 1``, so "p99" silently degenerates to
+the *maximum*, and on an empty list it raises ``IndexError`` instead of
+saying what went wrong.
+
+:func:`percentile` implements the linear-interpolation estimator (the
+numpy/Excel ``linear``/``inclusive`` method): the q-th percentile sits
+at fractional rank ``q/100 * (n - 1)`` in the sorted sample and is
+interpolated between the two closest order statistics. It degrades
+gracefully (``n = 1`` returns the single value for every ``q``) and is
+exact at the rank boundaries (``q = 0`` is the min, ``q = 100`` the
+max). Empty input raises ``ValueError`` with an explicit message.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["percentile", "mean", "latency_summary"]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    ``q`` is in percent (``p99`` is ``q=99``). Raises ``ValueError`` on
+    an empty sample or a ``q`` outside ``[0, 100]``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100]: {q}")
+    ordered: List[float] = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("percentile of an empty sample is undefined")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sample."""
+    ordered = [float(v) for v in values]
+    if not ordered:
+        raise ValueError("mean of an empty sample is undefined")
+    return sum(ordered) / len(ordered)
+
+
+def latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """The standard latency roll-up used by serving reports.
+
+    Returns ``{count, mean_s, p50_s, p95_s, p99_s, max_s}``; raises
+    ``ValueError`` when there are no samples (callers decide what an
+    empty measurement means — it is never silently zero).
+    """
+    if not latencies_s:
+        raise ValueError("latency_summary of an empty sample is undefined")
+    return {
+        "count": float(len(latencies_s)),
+        "mean_s": mean(latencies_s),
+        "p50_s": percentile(latencies_s, 50.0),
+        "p95_s": percentile(latencies_s, 95.0),
+        "p99_s": percentile(latencies_s, 99.0),
+        "max_s": max(float(v) for v in latencies_s),
+    }

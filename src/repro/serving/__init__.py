@@ -1,0 +1,43 @@
+"""Open-loop traffic-driven serving simulation (latency under load).
+
+The closed-loop harness (:func:`repro.platforms.measure_query_latency`)
+answers "how fast is one query on an idle device"; this package answers
+"what happens at 50 QPS": deterministic arrival processes
+(:mod:`~repro.serving.arrivals`), a queue/batch/shed serving simulator
+(:mod:`~repro.serving.simulator`), and load-sweep drivers that trace the
+latency–throughput curve to its knee (:mod:`~repro.serving.sweep`).
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    OnOffArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    arrival_from_dict,
+    make_arrival,
+)
+from .simulator import (
+    BatchService,
+    ServingOutcome,
+    ServingResult,
+    serve,
+    serving_cache_key,
+)
+from .sweep import ServingSweep, find_knee, sweep_serving
+
+__all__ = [
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "TraceArrivals",
+    "ArrivalProcess",
+    "arrival_from_dict",
+    "make_arrival",
+    "ServingResult",
+    "ServingOutcome",
+    "BatchService",
+    "serve",
+    "serving_cache_key",
+    "ServingSweep",
+    "sweep_serving",
+    "find_knee",
+]

@@ -1,0 +1,271 @@
+"""Deterministic open-loop arrival processes on the counter-stream RNG.
+
+Offered load for the serving simulator is generated the same way every
+other random draw in this repo is: a pure function of ``(seed, *keys)``
+through :func:`repro.rng.counter_draw`. A process therefore yields the
+same arrival timestamps on every run, on every machine, regardless of
+how the serving simulation interleaves — which is what lets serving
+documents be content-addressed and load sweeps be re-rendered bit-for-
+bit from cache.
+
+Three traffic shapes cover the serving scenarios:
+
+* :class:`PoissonArrivals` — memoryless arrivals at a constant rate (the
+  open-loop textbook baseline; interarrival CV = 1);
+* :class:`OnOffArrivals` — a Markov-modulated on/off process: bursts of
+  Poisson traffic at ``rate_qps`` during exponentially-distributed ON
+  phases, silence during OFF phases. Long-run average rate is
+  ``rate_qps * duty_cycle``;
+* :class:`TraceArrivals` — exact replay of recorded timestamps.
+
+All three serialize through ``to_dict``/:func:`arrival_from_dict` so a
+serving document can name the traffic that produced it, and the dict
+(not the bare dataclass) is what enters cache keys — the ``kind`` tag
+keeps distinct processes with coincidentally equal fields from
+colliding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..rng import counter_draw
+
+__all__ = [
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "TraceArrivals",
+    "ArrivalProcess",
+    "arrival_from_dict",
+    "make_arrival",
+]
+
+# Key-space salt for arrival draws: distinct from the sampler (no salt),
+# partition (0x5EED_0001), and shard-stream (0x5EED_0002) namespaces.
+_ARRIVAL_SALT = 0x5EED_0003
+
+# Sub-keys inside one process's stream.
+_KEY_INTERARRIVAL = 1
+_KEY_PHASE = 2
+_KEY_BURST = 3
+
+
+def _uniform(seed: int, *keys: int) -> float:
+    """A uniform draw in (0, 1] — safe under ``log`` — from one counter."""
+    return ((counter_draw(seed, _ARRIVAL_SALT, *keys) >> 11) + 1) * 2.0**-53
+
+
+def _exponential(mean: float, seed: int, *keys: int) -> float:
+    """An Exp(mean) draw keyed purely by ``(seed, *keys)``."""
+    return -math.log(_uniform(seed, *keys)) * mean
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate_qps`` queries per (simulated) second."""
+
+    rate_qps: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+
+    @property
+    def mean_rate_qps(self) -> float:
+        return self.rate_qps
+
+    def times(self, n: int) -> List[float]:
+        """The first ``n`` arrival timestamps (strictly increasing)."""
+        out: List[float] = []
+        t = 0.0
+        for i in range(n):
+            t += _exponential(1.0 / self.rate_qps, self.seed, _KEY_INTERARRIVAL, i)
+            out.append(t)
+        return out
+
+    def to_dict(self) -> Dict:
+        return {"kind": "poisson", "rate_qps": self.rate_qps, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class OnOffArrivals:
+    """Bursty Markov-modulated traffic: Poisson bursts between silences.
+
+    Phases alternate ON/OFF with exponentially-distributed durations of
+    mean ``on_s``/``off_s``; arrivals occur only during ON phases, as a
+    Poisson process at ``rate_qps``. The process spends ``duty_cycle =
+    on_s / (on_s + off_s)`` of its time ON, so the long-run average rate
+    is ``rate_qps * duty_cycle`` — :meth:`for_average` picks the burst
+    rate that hits a target average.
+    """
+
+    rate_qps: float  # arrival rate while ON
+    on_s: float  # mean ON-phase duration
+    off_s: float  # mean OFF-phase duration
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        if self.on_s <= 0 or self.off_s <= 0:
+            raise ValueError("phase durations must be positive")
+
+    @classmethod
+    def for_average(
+        cls, average_qps: float, *, on_s: float, off_s: float, seed: int = 0
+    ) -> "OnOffArrivals":
+        """The on/off process whose long-run average rate is ``average_qps``."""
+        duty = on_s / (on_s + off_s)
+        return cls(rate_qps=average_qps / duty, on_s=on_s, off_s=off_s, seed=seed)
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.on_s / (self.on_s + self.off_s)
+
+    @property
+    def mean_rate_qps(self) -> float:
+        return self.rate_qps * self.duty_cycle
+
+    def phases(self, num_phases: int) -> List[Tuple[float, float, bool]]:
+        """The first ``num_phases`` phases as ``(start_s, end_s, is_on)``.
+
+        Even-indexed phases are ON. Exposed so statistical tests can
+        check the realized duty cycle against the configured one.
+        """
+        out: List[Tuple[float, float, bool]] = []
+        start = 0.0
+        for j in range(num_phases):
+            on = j % 2 == 0
+            length = _exponential(
+                self.on_s if on else self.off_s, self.seed, _KEY_PHASE, j
+            )
+            out.append((start, start + length, on))
+            start += length
+        return out
+
+    def times(self, n: int) -> List[float]:
+        """The first ``n`` arrival timestamps (strictly increasing).
+
+        Each ON phase carries its own Poisson stream keyed by the phase
+        index (valid because the exponential is memoryless); the walk
+        over phases stops as soon as ``n`` arrivals have been emitted.
+        """
+        out: List[float] = []
+        start = 0.0
+        j = 0
+        while len(out) < n:
+            on = j % 2 == 0
+            length = _exponential(
+                self.on_s if on else self.off_s, self.seed, _KEY_PHASE, j
+            )
+            if on:
+                t = 0.0
+                k = 0
+                while len(out) < n:
+                    t += _exponential(
+                        1.0 / self.rate_qps, self.seed, _KEY_BURST, j, k
+                    )
+                    k += 1
+                    if t > length:
+                        break
+                    out.append(start + t)
+            start += length
+            j += 1
+        return out
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "onoff",
+            "rate_qps": self.rate_qps,
+            "on_s": self.on_s,
+            "off_s": self.off_s,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Exact replay of recorded arrival timestamps (seconds, sorted)."""
+
+    times_s: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        times = tuple(float(t) for t in self.times_s)
+        object.__setattr__(self, "times_s", times)
+        if any(t < 0 for t in times):
+            raise ValueError("trace timestamps must be non-negative")
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trace timestamps must be non-decreasing")
+
+    @property
+    def mean_rate_qps(self) -> float:
+        if len(self.times_s) < 1 or self.times_s[-1] <= 0:
+            return 0.0
+        return len(self.times_s) / self.times_s[-1]
+
+    def times(self, n: int) -> List[float]:
+        """The first ``n`` trace timestamps, bit-exact.
+
+        Raises ``ValueError`` when the trace is shorter than ``n`` —
+        replay never invents traffic.
+        """
+        if n > len(self.times_s):
+            raise ValueError(
+                f"trace holds {len(self.times_s)} arrivals, {n} requested"
+            )
+        return list(self.times_s[:n])
+
+    def to_dict(self) -> Dict:
+        return {"kind": "trace", "times_s": list(self.times_s)}
+
+
+ArrivalProcess = Union[PoissonArrivals, OnOffArrivals, TraceArrivals]
+
+_KINDS = {"poisson": PoissonArrivals, "onoff": OnOffArrivals, "trace": TraceArrivals}
+
+
+def arrival_from_dict(data: Dict) -> ArrivalProcess:
+    """Rebuild an arrival process from its ``to_dict`` form."""
+    kind = data.get("kind")
+    if kind == "poisson":
+        return PoissonArrivals(
+            rate_qps=float(data["rate_qps"]), seed=int(data["seed"])
+        )
+    if kind == "onoff":
+        return OnOffArrivals(
+            rate_qps=float(data["rate_qps"]),
+            on_s=float(data["on_s"]),
+            off_s=float(data["off_s"]),
+            seed=int(data["seed"]),
+        )
+    if kind == "trace":
+        return TraceArrivals(times_s=tuple(float(t) for t in data["times_s"]))
+    raise ValueError(f"unknown arrival process kind {kind!r}")
+
+
+def make_arrival(
+    kind: str,
+    qps: float,
+    *,
+    seed: int = 0,
+    on_s: float = 0.02,
+    off_s: float = 0.08,
+    trace: Iterable[float] = (),
+) -> ArrivalProcess:
+    """Build the arrival process for one load-sweep point.
+
+    ``qps`` is always the *offered average* rate: for ``onoff`` the
+    burst rate is scaled up by the duty cycle so the long-run average
+    still equals ``qps`` (sweeps stay comparable across traffic shapes).
+    ``trace`` replays the given timestamps and ignores ``qps``.
+    """
+    if kind == "poisson":
+        return PoissonArrivals(rate_qps=qps, seed=seed)
+    if kind == "onoff":
+        return OnOffArrivals.for_average(qps, on_s=on_s, off_s=off_s, seed=seed)
+    if kind == "trace":
+        return TraceArrivals(times_s=tuple(trace))
+    raise ValueError(f"unknown arrival process kind {kind!r}")

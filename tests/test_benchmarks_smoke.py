@@ -98,6 +98,13 @@ def smoke_fixtures(tmp_path_factory):
             platform, workload, jobs=env.jobs, cache=cache, **kwargs
         )
 
+    def serving_runner(platform, workload, qps_grid, **kwargs):
+        from repro.serving import sweep_serving
+
+        return sweep_serving(
+            platform, workload, qps_grid, jobs=env.jobs, cache=cache, **kwargs
+        )
+
     return {
         "benchmark": _SmokeBenchmark(),
         "bench_env": env,
@@ -107,6 +114,7 @@ def smoke_fixtures(tmp_path_factory):
         "run_cache": run_cache,
         "scaleout_runner": scaleout_runner,
         "query_runner": query_runner,
+        "serving_runner": serving_runner,
         "grid_cache": cache,
         "image_cache": icache,
         "bench_from_cache": False,

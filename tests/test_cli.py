@@ -74,6 +74,38 @@ class TestParser:
         assert args.check == "BENCH_kernel.json"
         assert args.max_regress == 0.25
 
+    def test_serve_parses(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--platform", "bg2", "--workload", "ogbn",
+                "--qps", "100,200", "--queries", "16", "--max-batch", "4",
+                "--batch-timeout-us", "250", "--queue-depth", "32",
+                "--max-live", "2", "--arrival", "onoff", "--on-ms", "5",
+                "--off-ms", "20", "--slo-p99-us", "500",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.qps == "100,200"
+        assert args.queries == 16
+        assert args.max_batch == 4
+        assert args.batch_timeout_us == 250.0
+        assert args.queue_depth == 32 and args.max_live == 2
+        assert args.arrival == "onoff"
+        assert args.on_ms == 5.0 and args.off_ms == 20.0
+        assert args.slo_p99_us == 500.0
+        assert args.jobs == 1 and args.cache is True  # shared infra flags
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.platform == "bg2" and args.workload == "amazon"
+        assert args.arrival == "poisson"
+        assert args.max_batch == 1 and args.max_live == 1
+        assert args.from_cache is False and args.slo_p99_us is None
+
+    def test_serve_arrival_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "nonsense"])
+
     def test_sweep_knob_restricted(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "nonsense"])
@@ -201,6 +233,43 @@ class TestOrchestrationCommands:
              "--no-image-cache"]
         ) == 0
         assert not (tmp_path / "images").exists()
+
+    def test_serve_cold_then_warm(self, capsys, tmp_path):
+        argv = [
+            "serve", "--platform", "bg2", "--workload", "ogbn",
+            "--nodes", "256", "--qps", "100,100000", "--queries", "4",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "[4 simulated, 0 from cache, 0/2 points from cache]" in cold
+        assert "knee" in cold
+        assert main(argv + ["--from-cache"]) == 0
+        warm = capsys.readouterr().out
+        assert "[0 simulated, 0 from cache, 2/2 points from cache]" in warm
+        # identical tables, modulo the cache summary line
+        assert cold.split("[", 1)[0] == warm.split("[", 1)[0]
+
+    def test_serve_from_cache_miss_fails(self, capsys, tmp_path):
+        assert main(
+            [
+                "serve", "--workload", "ogbn", "--nodes", "256",
+                "--qps", "50", "--queries", "3",
+                "--cache-dir", str(tmp_path), "--from-cache",
+            ]
+        ) == 2
+        assert "cache" in capsys.readouterr().out
+
+    def test_serve_slo_gate(self, capsys, tmp_path):
+        argv = [
+            "serve", "--platform", "bg2", "--workload", "ogbn",
+            "--nodes", "256", "--qps", "100", "--queries", "3",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv + ["--slo-p99-us", "100000"]) == 0
+        assert "SLO ok" in capsys.readouterr().out
+        assert main(argv + ["--slo-p99-us", "0.001"]) == 1
+        assert "SLO VIOLATION" in capsys.readouterr().out
 
     def test_perf_prepare_suite_smoke(self, capsys, tmp_path):
         out = tmp_path / "bench_prepare.json"

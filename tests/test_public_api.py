@@ -46,6 +46,8 @@ class TestSubpackageAll:
             "repro.energy",
             "repro.bench",
             "repro.orchestrate",
+            "repro.serving",
+            "repro.quantile",
         ],
     )
     def test_all_names_resolve(self, module_name):
