@@ -1,0 +1,51 @@
+"""Host-side page caching: in-datapath cache + offline replay + ablation.
+
+Three layers, one page-identifier vocabulary:
+
+* :mod:`repro.cache.page` — the live :class:`PageCache` the datapath
+  consults before issuing flash jobs (LRU/LFU/CLOCK eviction);
+* :mod:`repro.cache.replay` — offline trace replay pricing every policy
+  and size from one traced run, including Belady's offline optimum;
+* :mod:`repro.cache.sweep` — the size x policy ablation
+  (:func:`sweep_cache`), fanned through the orchestration grid and
+  surfaced as ``repro cache-ablation``.
+
+This module is imported by :mod:`repro.platforms.runner`, so only the
+stdlib-only submodules load eagerly; the sweep keeps its orchestrate/
+platform imports function-local to avoid the cycle.
+"""
+
+from .page import DEFAULT_HIT_LATENCY_S, POLICIES, CacheConfig, PageCache
+from .replay import (
+    REPLAY_POLICIES,
+    ReplayStats,
+    belady_replay,
+    hit_rate_curves,
+    replay_trace,
+)
+from .sweep import (
+    CachePoint,
+    CacheSweep,
+    CacheSweepOutcome,
+    cache_ablation_key,
+    sweep_cache,
+)
+from .trace import page_trace_from_result
+
+__all__ = [
+    "DEFAULT_HIT_LATENCY_S",
+    "POLICIES",
+    "CacheConfig",
+    "PageCache",
+    "REPLAY_POLICIES",
+    "ReplayStats",
+    "belady_replay",
+    "hit_rate_curves",
+    "replay_trace",
+    "CachePoint",
+    "CacheSweep",
+    "CacheSweepOutcome",
+    "cache_ablation_key",
+    "sweep_cache",
+    "page_trace_from_result",
+]

@@ -1,0 +1,147 @@
+"""Offline trace replay: price every (policy, size) point from one trace.
+
+A single traced run (``run_platform(sample_trace=True)``) fixes the page
+access sequence; replaying that sequence through a fresh
+:class:`~repro.cache.page.PageCache` prices LRU/LFU/CLOCK at any
+capacity without re-simulating, and :func:`belady_replay` prices
+Belady's provably-optimal offline policy (MIN) the Ginex way:
+
+* **pass 1** walks the trace backwards, recording for each access the
+  index of the page's *next* use (``inf`` when it never recurs);
+* **pass 2** walks forwards with a max-heap of cached pages keyed by
+  next use — on a full miss it evicts the page whose next use lies
+  farthest in the future, which Belady proved minimizes misses over any
+  demand-paging policy.
+
+The heap is lazy (same trick as the LFU policy): each access pushes a
+fresh entry, and eviction pops until the top agrees with the page's
+current next-use index.
+
+Because the online policies here *are* the datapath's policy objects,
+replaying a cache's recorded access trace (``record_trace=True``)
+reproduces its measured hit/miss/eviction counts exactly — the
+differential contract ``tests/test_cache_datapath.py`` pins.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from .page import PageCache
+
+__all__ = ["REPLAY_POLICIES", "ReplayStats", "replay_trace", "belady_replay", "hit_rate_curves"]
+
+# Online policies plus the offline optimum, in canonical sweep order.
+REPLAY_POLICIES = ("lru", "lfu", "clock", "belady")
+
+
+@dataclass(frozen=True)
+class ReplayStats:
+    """Counters from one replay of one (policy, capacity) point."""
+
+    policy: str
+    capacity_pages: int
+    accesses: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "policy": self.policy,
+            "capacity_pages": self.capacity_pages,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def replay_trace(
+    pages: Sequence[int], policy: str, capacity_pages: int
+) -> ReplayStats:
+    """Replay ``pages`` through one policy at one capacity.
+
+    ``policy`` is an online policy name (``lru``/``lfu``/``clock``) or
+    ``belady``. Zero capacity short-circuits to all-misses (the disabled
+    cache) for every policy.
+    """
+    if capacity_pages < 0:
+        raise ValueError("capacity_pages must be >= 0")
+    if policy == "belady":
+        return belady_replay(pages, capacity_pages)
+    n = len(pages)
+    if capacity_pages == 0:
+        return ReplayStats(policy, 0, n, 0, n, 0)
+    cache = PageCache(capacity_pages, policy=policy)
+    for page in pages:
+        cache.access(page)
+    return ReplayStats(
+        policy, capacity_pages, n, cache.hits, cache.misses, cache.evictions
+    )
+
+
+def belady_replay(pages: Sequence[int], capacity_pages: int) -> ReplayStats:
+    """Belady's optimal offline eviction (two-pass next-use computation)."""
+    if capacity_pages < 0:
+        raise ValueError("capacity_pages must be >= 0")
+    n = len(pages)
+    if capacity_pages == 0:
+        return ReplayStats("belady", 0, n, 0, n, 0)
+    # Pass 1 (backwards): next_use[i] = index of pages[i]'s next access.
+    next_use = [math.inf] * n
+    last_seen: Dict[int, int] = {}
+    for i in range(n - 1, -1, -1):
+        page = int(pages[i])
+        next_use[i] = last_seen.get(page, math.inf)
+        last_seen[page] = i
+    # Pass 2 (forwards): evict the page whose next use is farthest away.
+    cached: Dict[int, float] = {}  # page -> its current next-use index
+    heap: List[tuple] = []  # (-next_use, page), lazily invalidated
+    hits = misses = evictions = 0
+    for i in range(n):
+        page = int(pages[i])
+        upcoming = next_use[i]
+        if page in cached:
+            hits += 1
+        else:
+            misses += 1
+            if len(cached) >= capacity_pages:
+                while True:
+                    neg_next, victim = heapq.heappop(heap)
+                    if cached.get(victim) == -neg_next:
+                        del cached[victim]
+                        evictions += 1
+                        break
+        cached[page] = upcoming
+        heapq.heappush(heap, (-upcoming, page))
+    return ReplayStats("belady", capacity_pages, n, hits, misses, evictions)
+
+
+def hit_rate_curves(
+    pages: Sequence[int],
+    capacities_pages: Iterable[int],
+    policies: Sequence[str] = REPLAY_POLICIES,
+) -> Dict[str, List[float]]:
+    """Hit-rate-vs-capacity curve per policy, from one trace.
+
+    Returns ``{policy: [hit_rate per capacity]}`` with capacities in the
+    given order; include ``"belady"`` in ``policies`` (the default does)
+    for the optimal bound.
+    """
+    capacities = list(capacities_pages)
+    return {
+        policy: [
+            replay_trace(pages, policy, capacity).hit_rate
+            for capacity in capacities
+        ]
+        for policy in policies
+    }

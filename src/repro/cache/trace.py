@@ -1,0 +1,61 @@
+"""Derive a page-access sequence from a recorded sampling trace.
+
+``run_platform(sample_trace=True)`` records every sampled tree position
+as ``[target, position, node_id, depth]`` per batch — a *functional*
+trace, independent of timing, policy, or cache size. This module maps
+it back onto the pages the datapath reads for those positions, mirroring
+:class:`~repro.platforms.datapath.DataPrepEngine`'s command expansion:
+
+* an internal position (``depth < num_hops``) is a sampling read of the
+  node's primary structure page; on non-DirectGraph layouts it also
+  fetches the node's feature vector from the synthetic feature region
+  (``image.num_pages + node // vectors_per_page``);
+* a leaf position (``depth == num_hops``) is a feature fetch — the
+  primary page itself on DirectGraph platforms (features co-located),
+  the feature-table page otherwise.
+
+Secondary-section overflow reads and host-sampling full-list reads are
+*not* reconstructed (they depend on per-node layout spill, a small
+minority of accesses), so replay hit rates on this canonical sequence
+approximate — not equal — a live cache's measured rate; the exact-replay
+contract uses the cache's own recorded trace (``record_trace=True``)
+instead. Accesses follow the trace's canonical (target, position) order
+within each batch, batches in run order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["page_trace_from_result"]
+
+
+def page_trace_from_result(result, image, platform, num_hops: int) -> List[int]:
+    """Canonical page-access sequence of one traced run.
+
+    ``result`` must carry a ``sample_trace`` (run with
+    ``sample_trace=True``); ``image`` is the prepared
+    :class:`~repro.directgraph.builder.DirectGraphImage` the run used and
+    ``platform`` its :class:`~repro.platforms.features.PlatformFeatures`.
+    """
+    if result.sample_trace is None:
+        raise ValueError(
+            "result has no sample_trace — run with sample_trace=True"
+        )
+    spec = image.spec
+    vectors_per_page = max(1, spec.page_size // spec.feature_bytes)
+    feature_base = image.num_pages
+    feature_in_primary = platform.feature_in_primary
+    pages: List[int] = []
+    for batch in result.sample_trace:
+        for _target, _position, node, depth in batch:
+            node = int(node)
+            if int(depth) < num_hops:
+                pages.append(image.address_of(node).page)
+                if not feature_in_primary:
+                    pages.append(feature_base + node // vectors_per_page)
+            elif feature_in_primary:
+                pages.append(image.address_of(node).page)
+            else:
+                pages.append(feature_base + node // vectors_per_page)
+    return pages

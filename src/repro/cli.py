@@ -7,10 +7,11 @@ Subcommands
 ``sweep``    sweep one architecture knob (a Figure 18 slice)
 ``scaleout`` sharded N-SSD array simulation (Section VIII)
 ``serve``    open-loop serving load sweep: p50/p99 latency vs offered QPS
+``cache-ablation`` host page-cache ablation: size x policy hit rates + latency
 ``inflate``  DirectGraph storage-inflation report (Table IV)
 ``info``     print the Table II configuration and platform list
 ``cache``    result/image-cache maintenance (``stats`` / ``clear`` / ``prune``)
-``perf``     microbenchmark suites (BENCH_kernel / BENCH_prepare / BENCH_grid)
+``perf``     microbenchmark suites (BENCH_kernel/_prepare/_grid/_cache)
 
 ``run``/``compare``/``sweep``/``scaleout`` all go through
 :func:`repro.orchestrate.run_grid`:
@@ -161,7 +162,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="gate: exit 1 unless p99 at the lowest offered rate meets this",
     )
+    serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=0.0,
+        help="host page-cache capacity per batch simulation (0 = disabled)",
+    )
+    serve.add_argument(
+        "--cache-policy",
+        choices=["lru", "lfu", "clock"],
+        default="lru",
+        help="page-cache eviction policy (with --cache-mb > 0)",
+    )
     _infra_args(serve)
+
+    ablation = sub.add_parser(
+        "cache-ablation",
+        help="host page-cache ablation: size x policy hit rate + latency",
+    )
+    ablation.add_argument("--platform", default="bg2")
+    ablation.add_argument("--workload", default="amazon")
+    ablation.add_argument(
+        "--sizes-mb",
+        default="0.25,1,4",
+        help="comma-separated cache capacities in MB",
+    )
+    ablation.add_argument(
+        "--policies",
+        default="lru,lfu,clock",
+        help="comma-separated online eviction policies "
+        "(Belady's offline optimum is always included)",
+    )
+    ablation.add_argument(
+        "--hit-latency-ns",
+        type=float,
+        default=350.0,
+        help="DRAM-latency charge per cache hit",
+    )
+    ablation.add_argument(
+        "--from-cache",
+        action="store_true",
+        help="load cached ablation results only; fail instead of simulating",
+    )
+    _common_run_args(ablation)
 
     inflate = sub.add_parser("inflate", help="Table IV inflation report")
     inflate.add_argument("--nodes", type=int, default=60_000)
@@ -192,10 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf = sub.add_parser("perf", help="microbenchmark suites")
     perf.add_argument(
         "--suite",
-        choices=["kernel", "prepare", "grid", "all"],
+        choices=["kernel", "prepare", "grid", "cache", "all"],
         default="kernel",
         help="kernel hot-path ops, workload-prepare pipeline, grid "
-        "dispatch overhead, or all three",
+        "dispatch overhead, page-cache datapath/replay, or all of them",
     )
     perf.add_argument(
         "--scale", type=float, default=1.0, help="kernel op-count multiplier"
@@ -560,6 +603,7 @@ def cmd_scaleout(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from .cache import CacheConfig
     from .serving import sweep_serving
 
     qps_grid = [float(v) for v in args.qps.split(",")]
@@ -589,6 +633,11 @@ def cmd_serve(args) -> int:
             image_cache=_image_cache(args),
             require_cached=args.from_cache,
             chunk=args.chunk,
+            page_cache=(
+                CacheConfig(capacity_mb=args.cache_mb, policy=args.cache_policy)
+                if args.cache_mb > 0
+                else None
+            ),
         )
     except KeyError as err:
         print(err.args[0])
@@ -646,6 +695,71 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_cache_ablation(args) -> int:
+    from .cache import sweep_cache
+
+    try:
+        outcome = sweep_cache(
+            platform_by_name(args.platform).name,
+            args.workload,
+            capacities_mb=[float(v) for v in args.sizes_mb.split(",")],
+            policies=[p.strip() for p in args.policies.split(",")],
+            hit_latency_s=args.hit_latency_ns / 1e9,
+            batch_size=args.batch,
+            num_batches=args.batches,
+            num_hops=args.hops,
+            fanout=args.fanout,
+            ssd_config=_config(args),
+            seed=args.seed,
+            scaled_nodes=args.nodes,
+            jobs=args.jobs,
+            cache=_result_cache(args),
+            image_cache=_image_cache(args),
+            require_cached=args.from_cache,
+            chunk=args.chunk,
+        )
+    except KeyError as err:
+        print(err.args[0])
+        return 2
+    sweep = outcome.sweep
+    rows = [
+        (
+            point.policy,
+            f"{point.capacity_mb:g}",
+            f"{100 * point.hit_rate:.1f}%",
+            f"{100 * point.replay_hit_rate:.1f}%",
+            f"{100 * sweep.belady_hit_rate(point.capacity_mb):.1f}%",
+            round(point.total_seconds * 1e6, 1),
+            round(sweep.speedup(point), 2),
+        )
+        for point in sweep.points
+    ]
+    print(
+        format_table(
+            ["policy", "MB", "hit", "replay", "belady", "run us", "speedup"],
+            rows,
+            title=(
+                f"{args.platform} page-cache ablation on {args.workload} "
+                f"(uncached {sweep.baseline_seconds * 1e6:,.1f} us, "
+                f"{sweep.trace_accesses} accesses over "
+                f"{sweep.unique_pages} pages)"
+            ),
+        )
+    )
+    summary = (
+        f"[{outcome.cells_executed} simulated, "
+        f"{outcome.cell_cache_hits} from cache"
+        + (", ablation document from cache]" if outcome.from_cache else "]")
+    )
+    if outcome.images_built or outcome.image_hits:
+        summary += (
+            f" [images: {outcome.images_built} built,"
+            f" {outcome.image_hits} reused]"
+        )
+    print(summary)
+    return 0
+
+
 def cmd_cache(args) -> int:
     from pathlib import Path
 
@@ -691,6 +805,7 @@ def cmd_perf(args) -> int:
         format_report,
         load_report,
         merge_before_after,
+        run_cache_suite,
         run_grid_suite,
         run_prepare_suite,
         run_suite,
@@ -721,6 +836,8 @@ def cmd_perf(args) -> int:
                 jobs=args.grid_jobs,
             )
         )
+    if args.suite in ("cache", "all"):
+        reports.append(run_cache_suite(repeats=args.repeat))
     report = reports[0]
     if len(reports) > 1:
         report = {
@@ -810,6 +927,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "scaleout": cmd_scaleout,
         "serve": cmd_serve,
+        "cache-ablation": cmd_cache_ablation,
         "inflate": cmd_inflate,
         "info": cmd_info,
         "cache": cmd_cache,

@@ -37,6 +37,7 @@ from ..directgraph.reader import (
     DirectGraphFormatError,
     PrimarySectionView,
     SecondarySectionView,
+    SectionView,
     decode_section,
 )
 from ..directgraph.spec import FormatSpec
@@ -123,13 +124,29 @@ class DieSampler:
 
     # -- command execution ----------------------------------------------------
 
-    def execute(self, page_bytes: bytes, command: SamplingCommand) -> SampleResult:
-        """Run one sampling command against the page in the cache register."""
+    def execute(
+        self,
+        page_bytes: bytes,
+        command: SamplingCommand,
+        section: Optional[SectionView] = None,
+    ) -> SampleResult:
+        """Run one sampling command against the page in the cache register.
+
+        ``section`` optionally supplies the command's already-decoded
+        section view (see :meth:`decode_for`): decoding is a pure function
+        of the page bytes, so callers holding pages in a host-side cache
+        skip re-walking the raw bytes on every hit. Passing the view a
+        fresh decode would produce yields an identical result.
+        """
         if command.kind in (CommandKind.SAMPLE_PRIMARY, CommandKind.FETCH_FEATURE):
-            return self._execute_primary(page_bytes, command)
+            return self._execute_primary(page_bytes, command, section)
         if command.kind == CommandKind.SAMPLE_SECONDARY:
-            return self._execute_secondary(page_bytes, command)
+            return self._execute_secondary(page_bytes, command, section)
         raise SamplerFault(f"die cannot execute command kind {command.kind}")
+
+    def decode_for(self, page_bytes: bytes, command: SamplingCommand) -> SectionView:
+        """Decode the section a command addresses (memoizable by callers)."""
+        return self._decode(page_bytes, command)
 
     def _decode(self, page_bytes: bytes, command: SamplingCommand):
         try:
@@ -138,9 +155,13 @@ class DieSampler:
             raise SamplerFault(f"section check failed at {command.address}: {err}")
 
     def _execute_primary(
-        self, page_bytes: bytes, command: SamplingCommand
+        self,
+        page_bytes: bytes,
+        command: SamplingCommand,
+        section: Optional[SectionView] = None,
     ) -> SampleResult:
-        section = self._decode(page_bytes, command)
+        if section is None:
+            section = self._decode(page_bytes, command)
         if not isinstance(section, PrimarySectionView):
             raise SamplerFault(
                 f"expected primary section at {command.address}, got type "
@@ -223,9 +244,13 @@ class DieSampler:
         return result
 
     def _execute_secondary(
-        self, page_bytes: bytes, command: SamplingCommand
+        self,
+        page_bytes: bytes,
+        command: SamplingCommand,
+        section: Optional[SectionView] = None,
     ) -> SampleResult:
-        section = self._decode(page_bytes, command)
+        if section is None:
+            section = self._decode(page_bytes, command)
         if not isinstance(section, SecondarySectionView):
             raise SamplerFault(
                 f"expected secondary section at {command.address}, got type "

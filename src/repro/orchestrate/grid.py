@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from .. import __version__
 from ..directgraph import builder as _builder
 from ..directgraph import imagecache as _imagecache
+from ..cache.page import CacheConfig
 from ..directgraph.imagecache import ImageCache
 from ..platforms.background import BackgroundIoConfig
 from ..platforms.features import PlatformFeatures
@@ -78,6 +79,7 @@ class GridCell:
     pipeline_overlap: bool = True
     sample_trace: bool = False
     background_io: Optional[BackgroundIoConfig] = None
+    page_cache: Optional[CacheConfig] = None
 
     def resolved_platform(self) -> PlatformFeatures:
         if isinstance(self.platform, PlatformFeatures):
@@ -114,6 +116,9 @@ class GridCell:
         if self.background_io is not None:
             # same rule: plain cells keep their pre-background_io cache keys
             params["background_io"] = self.background_io
+        if self.page_cache is not None:
+            # same rule again: uncached-datapath cells keep their keys
+            params["page_cache"] = self.page_cache
         return params
 
 

@@ -25,11 +25,15 @@ __all__ = [
     "SERVING_SCHEMA_VERSION",
     "serving_to_payload",
     "serving_from_payload",
+    "CACHE_ABLATION_SCHEMA_VERSION",
+    "cache_sweep_to_payload",
+    "cache_sweep_from_payload",
 ]
 
 RESULT_SCHEMA_VERSION = 1
 SCALEOUT_SCHEMA_VERSION = 1
 SERVING_SCHEMA_VERSION = 1
+CACHE_ABLATION_SCHEMA_VERSION = 1
 
 
 def result_to_payload(result: RunResult) -> Dict:
@@ -93,3 +97,25 @@ def serving_from_payload(payload: Dict):
             f"expected {SERVING_SCHEMA_VERSION})"
         )
     return ServingResult.from_dict(payload["serving"])
+
+
+def cache_sweep_to_payload(sweep) -> Dict:
+    """Envelope around :meth:`CacheSweep.to_dict`; plain JSON types."""
+    doc = {
+        "schema": CACHE_ABLATION_SCHEMA_VERSION,
+        "kind": "cache_ablation",
+        "cache_ablation": sweep.to_dict(),
+    }
+    return json.loads(json.dumps(doc, default=json_default))
+
+
+def cache_sweep_from_payload(payload: Dict):
+    from ..cache.sweep import CacheSweep
+
+    schema = payload.get("schema")
+    if schema != CACHE_ABLATION_SCHEMA_VERSION or "cache_ablation" not in payload:
+        raise ValueError(
+            f"unsupported cache-ablation payload (schema {schema!r}, "
+            f"expected {CACHE_ABLATION_SCHEMA_VERSION})"
+        )
+    return CacheSweep.from_dict(payload["cache_ablation"])

@@ -7,8 +7,10 @@ runs the unmodified hot path at zero extra cost), and
 :mod:`repro.perf.microbench` is the suite behind ``repro perf`` and the
 checked-in ``BENCH_kernel.json``. :mod:`repro.perf.preparebench` covers
 the workload-prepare pipeline (``repro perf --suite prepare``,
-``BENCH_prepare.json``) and :mod:`repro.perf.gridbench` the grid
-dispatch overhead (``repro perf --suite grid``, ``BENCH_grid.json``).
+``BENCH_prepare.json``), :mod:`repro.perf.gridbench` the grid
+dispatch overhead (``repro perf --suite grid``, ``BENCH_grid.json``),
+and :mod:`repro.perf.cachebench` the page-cache datapath and offline
+replay engines (``repro perf --suite cache``, ``BENCH_cache.json``).
 """
 
 from .probe import KernelCounters, KernelProbe
@@ -24,6 +26,7 @@ from .microbench import (
 )
 from .preparebench import PREPARE_IMPLS, run_prepare_suite
 from .gridbench import grid_suite_cells, run_grid_suite
+from .cachebench import run_cache_suite, synthetic_page_trace
 
 __all__ = [
     "KernelCounters",
@@ -35,6 +38,8 @@ __all__ = [
     "run_prepare_suite",
     "run_grid_suite",
     "grid_suite_cells",
+    "run_cache_suite",
+    "synthetic_page_trace",
     "format_report",
     "write_report",
     "load_report",

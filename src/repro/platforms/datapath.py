@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..cache.page import PageCache
 from ..directgraph.builder import DirectGraphImage
 from ..isc.commands import (
     COMMAND_BASE_BYTES,
@@ -43,6 +44,7 @@ from ..ssd.config import SSDConfig
 from ..ssd.device import SsdDevice
 from ..ssd.flash import DieExecution, FlashJob
 from .features import PlatformFeatures, SamplingSite
+from .result import pack_trace
 
 __all__ = ["PrepCommand", "DataPrepEngine"]
 
@@ -82,22 +84,35 @@ class DataPrepEngine:
         image: DirectGraphImage,
         task: GnnTaskConfig,
         trace_samples: bool = False,
+        page_cache: Optional[PageCache] = None,
     ) -> None:
         """``trace_samples=True`` records every sampled tree position —
         ``[target, position, node_id, depth]`` per mini-batch, canonically
         sorted — in :attr:`sample_traces`. The scale-out array model maps
         these node ids onto its shard-ownership hash to measure real
         cross-partition traffic; tracing is pure bookkeeping and never
-        touches simulated time."""
+        touches simulated time.
+
+        ``page_cache`` fronts the flash backend: every command's page is
+        looked up first, and a hit replaces the whole control-path / die /
+        channel / completion walk with one DRAM-latency charge (the
+        command's children still expand identically — the functional DAG
+        is cache-invariant). ``None`` leaves the datapath bit-identical to
+        a build that never heard of caching."""
         self.sim = sim
         self.ssd_config = ssd_config
         self.platform = platform
         self.image = image
         self.task = task
         self.sampler = DieSampler(image.spec, task)
-        self.sample_traces: Optional[List[List[List[int]]]] = (
-            [] if trace_samples else None
-        )
+        self.page_cache = page_cache
+        # Decoded-section memo for cache hits: the host cache holds pages
+        # it already parsed, so a hit reuses the decoded view instead of
+        # re-walking the raw bytes (decoding is pure per (page, section) —
+        # pages never mutate within a run). Only the hit path consults it,
+        # so uncached runs stay untouched.
+        self._section_memo: dict = {}
+        self.sample_traces: Optional[List] = [] if trace_samples else None
         self._trace: Optional[List[List[int]]] = None
         self.device = SsdDevice(sim, ssd_config, self._die_executor)
         self.channel_parsers = [
@@ -106,7 +121,11 @@ class DataPrepEngine:
         ]
         self.meters = Meter()
         self.stage_agg = StageAggregator()
+        # Bounded at two live timelines (first + current): only the first
+        # batch's timeline is ever rendered (Figure 16), so long serving
+        # runs count the rest instead of retaining them.
         self.hop_timelines: List[HopTimeline] = []
+        self.batches_timed = 0
         self._cmd_seq = 0
         self.in_acceleration = False
         self._accel_done = sim.event()
@@ -206,16 +225,69 @@ class DataPrepEngine:
     # ------------------------------------------------------- command process
 
     def _run_command(self, cmd: PrepCommand, issued_by: str, ctx: _BatchCtx):
-        """Full lifecycle of one command; spawns or collects children."""
+        """Full lifecycle of one command; spawns or collects children.
+
+        A thin dispatcher: the page cache (when present) intercepts the
+        read, a hit taking :meth:`_run_cache_hit` and everything else the
+        full device walk in :meth:`_run_device_command`. ``yield from``
+        delegation is transparent to the event kernel, so with no cache
+        the event sequence is identical to the pre-cache engine — the
+        golden digests pin this.
+        """
+        cmd.record.issued = self.sim.now
+        timeline = self._timeline
+        timeline.note_start(cmd.step, self.sim.now)
+        cache = self.page_cache
+        if cache is not None and cache.access(cmd.page_index):
+            yield from self._run_cache_hit(cmd, timeline, ctx)
+        else:
+            yield from self._run_device_command(cmd, issued_by, timeline, ctx)
+        ctx.outstanding -= 1
+        if ctx.outstanding == 0 and ctx.done is not None and not ctx.done.triggered:
+            ctx.done.succeed()
+
+    def _run_cache_hit(self, cmd: PrepCommand, timeline: HopTimeline, ctx: _BatchCtx):
+        """Serve one command from the host-side page cache.
+
+        The page is already in DRAM: no control-path issue, no flash job,
+        no channel transfer, no parser/firmware completion — one timeout
+        at the cache's DRAM-latency charge. Sampling still executes (it is
+        functional, keyed only by page bytes), so the child DAG — and with
+        it every downstream page access — matches the uncached run.
+        """
+        sim = self.sim
+        cmd.record.flash_start = sim.now
+        yield sim.timeout(self.page_cache.hit_latency_s)
+        cmd.record.flash_end = cmd.record.transfer_end = sim.now
+        result: Optional[SampleResult] = None
+        if cmd.sampling is not None:
+            sampling = cmd.sampling
+            page_bytes = self.image.page_bytes(cmd.page_index)
+            key = (sampling.address.page, sampling.address.section)
+            section = self._section_memo.get(key)
+            if section is None:
+                section = self.sampler.decode_for(page_bytes, sampling)
+                self._section_memo[key] = section
+            result = self.sampler.execute(page_bytes, sampling, section)
+        children = self._children_of(cmd, result)
+        self._finish(cmd, timeline)
+        platform = self.platform
+        issuer = (
+            "router"
+            if (platform.die_sampling and platform.hw_router)
+            else "firmware"
+        )
+        self._dispatch_children(children, issuer, ctx)
+
+    def _run_device_command(
+        self, cmd: PrepCommand, issued_by: str, timeline: HopTimeline, ctx: _BatchCtx
+    ):
+        """The full (cache-miss) device walk of one command."""
         sim = self.sim
         device = self.device
         fw = self.ssd_config.firmware
         host = self.ssd_config.host
         platform = self.platform
-
-        cmd.record.issued = sim.now
-        timeline = self._timeline
-        timeline.note_start(cmd.step, sim.now)
 
         # -- control path: issue ------------------------------------------------
         if issued_by == "host":
@@ -314,9 +386,6 @@ class DataPrepEngine:
                 self.meters.add("host_sample_neighbors", result.neighbors_sampled)
             self._finish(cmd, timeline)
             self._dispatch_children(children, "firmware", ctx)
-        ctx.outstanding -= 1
-        if ctx.outstanding == 0 and ctx.done is not None and not ctx.done.triggered:
-            ctx.done.succeed()
 
     def _finish(self, cmd: PrepCommand, timeline: HopTimeline) -> None:
         cmd.record.completed = self.sim.now
@@ -441,13 +510,19 @@ class DataPrepEngine:
 
     def prepare_batch(self, targets: List[int]):
         """Process generator: full data preparation of one mini-batch."""
-        self.hop_timelines.append(HopTimeline())
+        # Retain only the first and the current batch's timelines: the
+        # first is the only one rendered (Figure 16), and per-batch
+        # retention would grow without bound on long serving runs.
+        self.batches_timed += 1
+        if len(self.hop_timelines) < 2:
+            self.hop_timelines.append(HopTimeline())
+        else:
+            self.hop_timelines[-1] = HopTimeline()
         if self.sample_traces is not None:
             # batch preparations serialize on the flash backend (the
             # pipeline only overlaps prep with *compute*), so one current
             # trace list at a time is safe
             self._trace = []
-            self.sample_traces.append(self._trace)
         self.in_acceleration = True
         if self._accel_done.triggered:
             self._accel_done = self.sim.event()
@@ -458,7 +533,9 @@ class DataPrepEngine:
                 yield from self._prepare_streaming(targets)
         finally:
             if self._trace is not None:
-                self._trace.sort()  # canonical (target, position) order
+                # pack_trace sorts into the canonical (target, position)
+                # order list.sort() used to produce, 4 int32s per row
+                self.sample_traces.append(pack_trace(self._trace))
                 self._trace = None
             self.in_acceleration = False
             done, self._accel_done = self._accel_done, self.sim.event()

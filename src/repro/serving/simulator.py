@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from .. import __version__
+from ..cache.page import CacheConfig
 from ..cacheutil import stable_hash
 from ..platforms.features import PlatformFeatures
 from ..platforms.registry import platform_by_name
@@ -302,10 +303,26 @@ def serving_cache_key(
     fanout: int,
     scaled_nodes: int,
     seed: int,
+    page_cache: Optional[CacheConfig] = None,
 ) -> str:
     """Content-addressed cache key for one serving measurement point."""
     from ..orchestrate.serialize import SERVING_SCHEMA_VERSION
 
+    run = {
+        "num_queries": num_queries,
+        "query_batch_size": query_batch_size,
+        "max_batch": max_batch,
+        "batch_timeout_s": batch_timeout_s,
+        "queue_depth": queue_depth,
+        "max_live": max_live,
+        "num_hops": num_hops,
+        "fanout": fanout,
+        "scaled_nodes": scaled_nodes,
+        "seed": seed,
+    }
+    if page_cache is not None:
+        # included only when set: uncached serving points keep their keys
+        run["page_cache"] = page_cache
     return stable_hash(
         {
             "kind": "serving",
@@ -315,18 +332,7 @@ def serving_cache_key(
             "workload": spec,
             "ssd_config": config,
             "arrival": arrival,
-            "run": {
-                "num_queries": num_queries,
-                "query_batch_size": query_batch_size,
-                "max_batch": max_batch,
-                "batch_timeout_s": batch_timeout_s,
-                "queue_depth": queue_depth,
-                "max_live": max_live,
-                "num_hops": num_hops,
-                "fanout": fanout,
-                "scaled_nodes": scaled_nodes,
-                "seed": seed,
-            },
+            "run": run,
         }
     )
 
@@ -352,6 +358,7 @@ def serve(
     require_cached: bool = False,
     chunk: Optional[int] = None,
     service: Optional[BatchService] = None,
+    page_cache: Optional[CacheConfig] = None,
 ) -> ServingOutcome:
     """Serve ``num_queries`` open-loop queries against one platform.
 
@@ -367,6 +374,11 @@ def serve(
     ``require_cached=True`` loads the serving document (or, failing
     that, every needed cell) from cache and raises ``KeyError`` rather
     than simulate.
+
+    ``page_cache`` puts a host-side page cache in each batch's datapath
+    (see :func:`repro.platforms.runner.run_platform`): the cache is warm
+    per batch simulation, so service times — and with them the
+    latency–throughput knee — shift accordingly.
     """
     from ..orchestrate.grid import GridCell, adopt_prepared
     from ..orchestrate.serialize import serving_from_payload, serving_to_payload
@@ -417,6 +429,7 @@ def serve(
         fanout=fanout,
         scaled_nodes=scaled_nodes,
         seed=seed,
+        page_cache=page_cache,
     )
     if cache is not None:
         document = cache.get(key)
@@ -454,6 +467,7 @@ def serve(
             fanout=fanout,
             seed=seed + first_query,
             scaled_nodes=scaled_nodes,
+            page_cache=page_cache,
         )
 
     arrivals = arrival.times(num_queries)

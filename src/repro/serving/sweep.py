@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..cache.page import CacheConfig
 from ..platforms.features import PlatformFeatures
 from ..platforms.runner import PreparedWorkload
 from ..ssd.config import SSDConfig
@@ -155,6 +156,7 @@ def sweep_serving(
     require_cached: bool = False,
     chunk: Optional[int] = None,
     service: Optional[BatchService] = None,
+    page_cache: Optional[CacheConfig] = None,
 ) -> ServingSweep:
     """Serve the query population at every rate in ``qps_grid``.
 
@@ -191,6 +193,7 @@ def sweep_serving(
             seed=seed,
             cache=cache,
             service=service,
+            page_cache=page_cache,
         )
         for qps in qps_grid
     ]

@@ -129,7 +129,7 @@ def _load_module(path: Path):
 
 
 def test_benchmark_files_discovered():
-    assert len(BENCH_FILES) >= 16, "benchmark suite shrank unexpectedly"
+    assert len(BENCH_FILES) >= 17, "benchmark suite shrank unexpectedly"
 
 
 @pytest.mark.parametrize("bench_file", BENCH_FILES, ids=lambda p: p.stem)

@@ -106,6 +106,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--arrival", "nonsense"])
 
+    def test_serve_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--cache-mb", "2.5", "--cache-policy", "clock"]
+        )
+        assert args.cache_mb == 2.5 and args.cache_policy == "clock"
+        assert build_parser().parse_args(["serve"]).cache_mb == 0.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--cache-policy", "belady"])
+
+    def test_cache_ablation_parses(self):
+        args = build_parser().parse_args(
+            [
+                "cache-ablation", "--platform", "bg2", "--workload", "ogbn",
+                "--sizes-mb", "0.5,2", "--policies", "lru,clock",
+                "--hit-latency-ns", "200",
+            ]
+        )
+        assert args.command == "cache-ablation"
+        assert args.sizes_mb == "0.5,2" and args.policies == "lru,clock"
+        assert args.hit_latency_ns == 200.0
+        defaults = build_parser().parse_args(["cache-ablation"])
+        assert defaults.platform == "bg2" and defaults.workload == "amazon"
+        assert defaults.sizes_mb == "0.25,1,4"
+        assert defaults.from_cache is False
+
     def test_sweep_knob_restricted(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "nonsense"])
@@ -250,6 +275,46 @@ class TestOrchestrationCommands:
         # identical tables, modulo the cache summary line
         assert cold.split("[", 1)[0] == warm.split("[", 1)[0]
 
+    def test_serve_with_page_cache(self, capsys, tmp_path):
+        base = [
+            "serve", "--platform", "bg2", "--workload", "ogbn",
+            "--nodes", "256", "--qps", "100", "--queries", "3",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(base) == 0
+        uncached = capsys.readouterr().out
+        assert main(base + ["--cache-mb", "8"]) == 0
+        cached = capsys.readouterr().out
+        # a different serving configuration: simulated fresh, not a cache hit
+        assert "[3 simulated, 0 from cache" in cached
+        assert uncached != cached
+
+    def test_cache_ablation_cold_then_warm(self, capsys, tmp_path):
+        argv = [
+            "cache-ablation", "--platform", "bg2", "--workload", "ogbn",
+            "--nodes", "256", "--batch", "8", "--batches", "1",
+            "--sizes-mb", "0.25,1", "--policies", "lru,clock",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "[5 simulated, 0 from cache]" in cold  # baseline + 2x2 grid
+        assert "belady" in cold
+        assert main(argv + ["--from-cache"]) == 0
+        warm = capsys.readouterr().out
+        assert "[0 simulated, 0 from cache, ablation document from cache]" in warm
+        # identical tables, modulo the cache summary line
+        assert cold.split("[", 1)[0] == warm.split("[", 1)[0]
+
+    def test_cache_ablation_from_cache_miss_fails(self, capsys, tmp_path):
+        assert main(
+            [
+                "cache-ablation", "--workload", "ogbn", "--nodes", "256",
+                "--batch", "8", "--batches", "1",
+                "--cache-dir", str(tmp_path), "--from-cache",
+            ]
+        ) == 2
+
     def test_serve_from_cache_miss_fails(self, capsys, tmp_path):
         assert main(
             [
@@ -279,6 +344,18 @@ class TestOrchestrationCommands:
         ]
         assert main(argv) == 0
         assert "prepare_cold" in capsys.readouterr().out
+        assert out.exists()
+        # gates against its own numbers with a generous margin
+        assert main(
+            argv[:-2] + ["--check", str(out), "--max-regress", "0.999"]
+        ) == 0
+
+    def test_perf_cache_suite_smoke(self, capsys, tmp_path):
+        out = tmp_path / "bench_cache.json"
+        argv = ["perf", "--suite", "cache", "--repeat", "1", "--out", str(out)]
+        assert main(argv) == 0
+        report = capsys.readouterr().out
+        assert "cache_speedup" in report and "replay_belady" in report
         assert out.exists()
         # gates against its own numbers with a generous margin
         assert main(

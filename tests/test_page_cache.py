@@ -1,0 +1,192 @@
+"""Unit tests for the page cache: policies, config, offline replay.
+
+Everything here runs on hand-built page sequences — no simulator. The
+datapath integration and the differential measured-vs-replayed contract
+live in ``tests/test_cache_datapath.py``.
+"""
+
+import pytest
+
+from repro.cache import (
+    DEFAULT_HIT_LATENCY_S,
+    POLICIES,
+    REPLAY_POLICIES,
+    CacheConfig,
+    PageCache,
+    belady_replay,
+    hit_rate_curves,
+    replay_trace,
+)
+
+
+class TestCacheConfig:
+    def test_capacity_pages_decimal_megabytes(self):
+        assert CacheConfig(capacity_mb=1.0).capacity_pages(4096) == 244
+        assert CacheConfig(capacity_mb=0.25).capacity_pages(4096) == 61
+
+    def test_zero_capacity_rounds_to_disabled(self):
+        tiny = CacheConfig(capacity_mb=0.001)  # 1000 bytes < one page
+        assert tiny.capacity_pages(4096) == 0
+        assert PageCache.from_config(tiny, 4096) is None
+        assert PageCache.from_config(None, 4096) is None
+        assert PageCache.from_config(CacheConfig(capacity_mb=0.0), 4096) is None
+
+    def test_from_config_builds_matching_cache(self):
+        config = CacheConfig(
+            capacity_mb=1.0, policy="clock", hit_latency_s=1e-7, record_trace=True
+        )
+        cache = PageCache.from_config(config, 4096)
+        assert cache.capacity_pages == 244
+        assert cache.policy == "clock"
+        assert cache.hit_latency_s == 1e-7
+        assert cache.trace == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_mb=-1.0)
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_mb=1.0, policy="fifo")
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_mb=1.0, hit_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            PageCache(0)
+        with pytest.raises(ValueError):
+            PageCache(4, policy="belady")  # offline-only, not a live policy
+
+    def test_hashable_for_grid_identity(self):
+        a = CacheConfig(capacity_mb=1.0, policy="lru")
+        b = CacheConfig(capacity_mb=1.0, policy="lru")
+        assert hash(a) == hash(b) and a == b
+        assert a != CacheConfig(capacity_mb=1.0, policy="lfu")
+
+
+class TestPoliciesOnSmallTraces:
+    def test_lru_evicts_least_recent(self):
+        cache = PageCache(2, policy="lru")
+        for page in (1, 2, 1, 3):  # touch 1, then 3 evicts 2
+            cache.access(page)
+        assert 1 in cache and 3 in cache and 2 not in cache
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 3, 1)
+
+    def test_lfu_evicts_least_frequent(self):
+        cache = PageCache(2, policy="lfu")
+        for page in (1, 1, 2, 3):  # 1 has freq 2; 3 evicts 2
+            cache.access(page)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_lfu_ties_break_least_recent(self):
+        cache = PageCache(2, policy="lfu")
+        for page in (1, 2, 3):  # freq tie between 1 and 2: evict older 1
+            cache.access(page)
+        assert 2 in cache and 3 in cache and 1 not in cache
+
+    def test_clock_gives_second_chances(self):
+        cache = PageCache(3, policy="clock")
+        # 4 sweeps the full ring (all bits set) and evicts 1; the sweep
+        # leaves 2 and 3 with cleared bits. Touching 2 re-arms it, so the
+        # next eviction passes over 2 and takes 3 — the second chance.
+        for page in (1, 2, 3, 4, 2, 5):
+            cache.access(page)
+        assert 2 in cache and 4 in cache and 5 in cache
+        assert 3 not in cache
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_counters_and_capacity_invariants(self, policy):
+        cache = PageCache(8, policy=policy)
+        pages = [(7 * i + i * i) % 40 for i in range(400)]
+        for page in pages:
+            cache.access(page)
+        assert cache.accesses == len(pages)
+        assert cache.hits + cache.misses == cache.accesses
+        assert len(cache) <= cache.capacity_pages
+        assert cache.evictions == cache.misses - len(cache)
+        assert 0.0 < cache.hit_rate < 1.0
+
+    def test_recorded_trace_is_the_access_sequence(self):
+        cache = PageCache(2, policy="lru", record_trace=True)
+        for page in (5, 6, 5, 7):
+            cache.access(page)
+        assert cache.trace == [5, 6, 5, 7]
+        assert cache.stats_dict()["trace"] == [5, 6, 5, 7]
+
+    def test_stats_dict_shape(self):
+        cache = PageCache(4)
+        cache.access(1)
+        stats = cache.stats_dict()
+        assert stats == {
+            "policy": "lru",
+            "capacity_pages": 4,
+            "hit_latency_s": DEFAULT_HIT_LATENCY_S,
+            "hits": 0,
+            "misses": 1,
+            "evictions": 0,
+            "hit_rate": 0.0,
+        }
+
+
+def _reuse_trace(n=3000, pages=64, hot=8):
+    """Deterministic mix of a hot set and a cold tail (no RNG needed)."""
+    out = []
+    for i in range(n):
+        if i % 3:
+            out.append(i * 31 % hot)  # hot set, frequent reuse
+        else:
+            out.append(hot + (i * 17) % (pages - hot))
+    return out
+
+
+class TestReplay:
+    def test_zero_capacity_is_all_misses(self):
+        trace = _reuse_trace(100)
+        for policy in REPLAY_POLICIES:
+            stats = replay_trace(trace, policy, 0)
+            assert (stats.hits, stats.misses) == (0, len(trace))
+            assert stats.hit_rate == 0.0
+
+    def test_capacity_covering_working_set_only_cold_misses(self):
+        trace = _reuse_trace()
+        unique = len(set(trace))
+        for policy in REPLAY_POLICIES:
+            stats = replay_trace(trace, policy, unique)
+            assert stats.misses == unique
+            assert stats.evictions == 0
+
+    def test_belady_small_example_by_hand(self):
+        # Classic FIFO-vs-MIN sequence; MIN takes 7 misses at capacity 3.
+        trace = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        stats = belady_replay(trace, 3)
+        assert stats.misses == 7
+        assert stats.hits == 5
+
+    def test_belady_dominates_online_policies(self):
+        trace = _reuse_trace()
+        for capacity in (4, 8, 16, 32):
+            optimal = belady_replay(trace, capacity).hit_rate
+            for policy in POLICIES:
+                online = replay_trace(trace, policy, capacity).hit_rate
+                assert optimal >= online, (policy, capacity)
+
+    def test_replay_matches_live_cache_counts(self):
+        trace = _reuse_trace()
+        for policy in POLICIES:
+            live = PageCache(16, policy=policy, record_trace=True)
+            for page in trace:
+                live.access(page)
+            replayed = replay_trace(live.trace, policy, 16)
+            assert (replayed.hits, replayed.misses, replayed.evictions) == (
+                live.hits,
+                live.misses,
+                live.evictions,
+            )
+
+    def test_hit_rate_curves_monotone_in_capacity(self):
+        trace = _reuse_trace()
+        curves = hit_rate_curves(trace, [4, 8, 16, 32, 64])
+        assert sorted(curves) == sorted(REPLAY_POLICIES)
+        for policy in ("lru", "lfu", "belady"):
+            rates = curves[policy]
+            assert all(b >= a for a, b in zip(rates, rates[1:])), policy
+        # belady is the upper envelope pointwise
+        for i in range(5):
+            for policy in POLICIES:
+                assert curves["belady"][i] >= curves[policy][i]

@@ -47,6 +47,7 @@ class TestSubpackageAll:
             "repro.bench",
             "repro.orchestrate",
             "repro.serving",
+            "repro.cache",
             "repro.quantile",
         ],
     )

@@ -16,6 +16,7 @@ import json
 import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -92,11 +93,11 @@ def test_payload_round_trip_lossless(sharded):
     payload = scaleout_to_payload(sharded)
     restored = scaleout_from_payload(payload)
     assert restored.to_dict() == sharded.to_dict()
-    # the per-shard sampling traces survive the round trip
-    assert all(
-        r.sample_trace == s.sample_trace
-        for r, s in zip(restored.per_device, sharded.per_device)
-    )
+    # the per-shard sampling traces (packed int32 arrays) survive the trip
+    for r, s in zip(restored.per_device, sharded.per_device):
+        assert len(r.sample_trace) == len(s.sample_trace)
+        for rb, sb in zip(r.sample_trace, s.sample_trace):
+            assert np.array_equal(rb, sb)
 
 
 # -- hash partition -----------------------------------------------------------
