@@ -114,14 +114,16 @@ def bench_from_cache(request) -> bool:
 
 @pytest.fixture(scope="session")
 def prepared_cache(bench_env, image_cache):
-    cache: Dict[Tuple[str, int], PreparedWorkload] = {}
+    cache: Dict[Tuple[str, int, str], PreparedWorkload] = {}
 
-    def get(workload: str, page_size: int = 4096) -> PreparedWorkload:
-        key = (workload, page_size)
+    def get(
+        workload: str, page_size: int = 4096, layout: str = "node-order"
+    ) -> PreparedWorkload:
+        key = (workload, page_size, layout)
         if key not in cache:
             spec = workload_by_name(workload).scaled(bench_env.nodes)
             cache[key] = PreparedWorkload.prepare(
-                spec, page_size=page_size, image_cache=image_cache
+                spec, page_size=page_size, image_cache=image_cache, layout=layout
             )
         return cache[key]
 

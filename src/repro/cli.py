@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: measure remote traffic from the sampling traces)",
     )
     scaleout.add_argument(
+        "--partitioner",
+        choices=["hash", "greedy-edgecut", "label-prop"],
+        default="hash",
+        help="graph-to-device ownership policy; non-hash policies route "
+        "each array target to its owning device",
+    )
+    scaleout.add_argument(
         "--from-cache",
         action="store_true",
         help="load cached array results only; fail instead of simulating",
@@ -235,10 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf = sub.add_parser("perf", help="microbenchmark suites")
     perf.add_argument(
         "--suite",
-        choices=["kernel", "prepare", "grid", "cache", "all"],
+        choices=["kernel", "prepare", "grid", "cache", "partition", "all"],
         default="kernel",
         help="kernel hot-path ops, workload-prepare pipeline, grid "
-        "dispatch overhead, page-cache datapath/replay, or all of them",
+        "dispatch overhead, page-cache datapath/replay, partition/layout "
+        "locality, or all of them",
     )
     perf.add_argument(
         "--scale", type=float, default=1.0, help="kernel op-count multiplier"
@@ -311,6 +319,13 @@ def _common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hops", type=int, default=3)
     parser.add_argument("--fanout", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--layout",
+        choices=["node-order", "locality"],
+        default="node-order",
+        help="DirectGraph page layout (locality = BFS-clustered neighbor "
+        "placement)",
+    )
     parser.add_argument(
         "--traditional", action="store_true", help="20us-read flash (Sec VII-E)"
     )
@@ -397,6 +412,7 @@ def _cell(args, platform: str, workload: str, ssd_config=None, **overrides) -> G
         fanout=args.fanout,
         seed=args.seed,
         scaled_nodes=args.nodes,
+        layout=getattr(args, "layout", "node-order"),
     )
     params.update(overrides)
     return GridCell(
@@ -558,6 +574,8 @@ def cmd_scaleout(args) -> int:
                     image_cache=image_cache,
                     require_cached=args.from_cache,
                     chunk=args.chunk,
+                    partitioner=args.partitioner,
+                    layout=args.layout,
                 )
             )
         except KeyError as err:
@@ -583,10 +601,37 @@ def cmd_scaleout(args) -> int:
             rows,
             title=(
                 f"{args.platform} array on {args.workload} "
-                f"(batch {args.batch}, {mode} exchange)"
+                f"(batch {args.batch}, {mode} exchange, "
+                f"{args.partitioner} partition)"
             ),
         )
     )
+    for outcome in outcomes:
+        array = outcome.result
+        if array.num_devices < 2:
+            continue
+        off_diag = sum(
+            array.link_vectors[i][j]
+            for i in range(array.num_devices)
+            for j in range(array.num_devices)
+            if i != j
+        )
+        matrix_rows = [
+            (f"dev {i}", *row) for i, row in enumerate(array.link_vectors)
+        ]
+        print(
+            format_table(
+                ["from\\to"]
+                + [f"dev {j}" for j in range(array.num_devices)],
+                matrix_rows,
+                title=(
+                    f"P2P exchange matrix, {array.num_devices} SSDs "
+                    f"(vectors owner->requester; cross-partition "
+                    f"{off_diag} vectors, "
+                    f"{100 * array.measured_remote_fraction:.1f}% of samples)"
+                ),
+            )
+        )
     executed = sum(o.shards_executed for o in outcomes)
     shard_hits = sum(o.shard_cache_hits for o in outcomes)
     array_hits = sum(1 for o in outcomes if o.from_cache)
@@ -807,6 +852,7 @@ def cmd_perf(args) -> int:
         merge_before_after,
         run_cache_suite,
         run_grid_suite,
+        run_partition_suite,
         run_prepare_suite,
         run_suite,
         write_report,
@@ -838,6 +884,8 @@ def cmd_perf(args) -> int:
         )
     if args.suite in ("cache", "all"):
         reports.append(run_cache_suite(repeats=args.repeat))
+    if args.suite in ("partition", "all"):
+        reports.append(run_partition_suite(repeats=args.repeat))
     report = reports[0]
     if len(reports) > 1:
         report = {

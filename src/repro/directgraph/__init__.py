@@ -14,6 +14,7 @@ from .imagecache import (
     ImageCache,
     default_image_cache_dir,
 )
+from .layout import DEFAULT_LAYOUT, LAYOUTS, layout_order, locality_order
 from .reader import (
     DecodedPage,
     DirectGraphFormatError,
@@ -55,6 +56,10 @@ __all__ = [
     "ImageCache",
     "CachedImage",
     "default_image_cache_dir",
+    "LAYOUTS",
+    "DEFAULT_LAYOUT",
+    "layout_order",
+    "locality_order",
     "DirectGraphReader",
     "DirectGraphFormatError",
     "decode_page",

@@ -129,8 +129,14 @@ def build_directgraph_reference(
     spec: Optional[FormatSpec] = None,
     serialize: bool = True,
     open_page_limit: int = 32,
+    order: Optional[np.ndarray] = None,
 ) -> DirectGraphImage:
-    """Run the original per-node Algorithm 1 over ``graph``."""
+    """Run the original per-node Algorithm 1 over ``graph``.
+
+    ``order`` (a permutation of all node ids) selects the sequence in
+    which nodes are laid onto primary pages; ``None`` keeps node-id
+    order. The returned ``node_plans`` list is always node-id indexed.
+    """
     if spec is None:
         dim = features.dim if features is not None else 128
         spec = FormatSpec(feature_dim=dim)
@@ -144,11 +150,21 @@ def build_directgraph_reference(
         if features.num_nodes < graph.num_nodes:
             raise ValueError("feature table smaller than graph")
 
+    if order is None:
+        visit = range(graph.num_nodes)
+    else:
+        ids = np.asarray(order, dtype=np.int64)
+        if ids.shape != (graph.num_nodes,) or not np.array_equal(
+            np.sort(ids), np.arange(graph.num_nodes)
+        ):
+            raise ValueError("order must be a permutation of all node ids")
+        visit = [int(v) for v in ids]
+
     packer = _PagePacker(spec, open_page_limit)
     node_plans: List[NodePlan] = []
     current_primary: Optional[PagePlan] = None
 
-    for node_id in range(graph.num_nodes):
+    for node_id in visit:
         degree = graph.degree(node_id)
         plan = None
         if (
@@ -181,6 +197,9 @@ def build_directgraph_reference(
             spage.entries.append((node_id, SECTION_TYPE_SECONDARY, ordinal))
             plan.secondary_addrs.append(SectionAddress(spage.page_index, s_index))
         node_plans.append(plan)
+
+    if order is not None:
+        node_plans.sort(key=lambda plan: plan.node_id)
 
     n_primary = sum(1 for p in packer.pages if p.page_type == PAGE_TYPE_PRIMARY)
     n_secondary = len(packer.pages) - n_primary

@@ -319,8 +319,18 @@ def build_directgraph(
     spec: Optional[FormatSpec] = None,
     serialize: bool = True,
     open_page_limit: int = 32,
+    order: Optional[np.ndarray] = None,
 ) -> DirectGraphImage:
-    """Run Algorithm 1 over ``graph`` (and ``features`` when serializing)."""
+    """Run Algorithm 1 over ``graph`` (and ``features`` when serializing).
+
+    ``order`` (a permutation of all node ids) selects the sequence in
+    which nodes are laid onto primary pages — the neighbor-locality page
+    reordering: nodes adjacent in ``order`` share pages. ``None`` keeps
+    the original node-id order and is byte-identical to the pre-``order``
+    builder. Reordering never changes node identity: plans, addresses,
+    and serialized section contents stay keyed by the original ids, only
+    the (page, section) placement moves.
+    """
     BUILD_COUNTER.count += 1
     if spec is None:
         dim = features.dim if features is not None else 128
@@ -341,18 +351,32 @@ def build_directgraph(
     sec_cap = spec.max_secondary_neighbors
 
     deg = np.asarray(graph.degrees(), dtype=np.int64)
+    # Layout order: the planning loop below walks *positions* in this
+    # sequence; everything it records is mapped back to node ids at the
+    # end. The default identity order keeps deg_plan as deg itself, so
+    # the unordered path is untouched.
+    if order is not None:
+        ids = np.asarray(order, dtype=np.int64)
+        if ids.shape != (n,) or not np.array_equal(np.sort(ids), np.arange(n)):
+            raise ValueError("order must be a permutation of all node ids")
+        deg_plan = deg[ids]
+        ids_list = ids.tolist()
+    else:
+        ids = None
+        deg_plan = deg
+        ids_list = None
     # Primary-section header size with zero secondary addresses; a node's
     # full (all-inline) section is base_header + 4 bytes per neighbor.
     base_header = spec.primary_section_bytes(0, 0)
     # The prefix sum turns "do nodes i..j fit on this page whole?" into one
     # subtraction, and searchsorted finds the longest such run.
     full_prefix = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(base_header + ADDRESS_BYTES * deg, out=full_prefix[1:])
+    np.cumsum(base_header + ADDRESS_BYTES * deg_plan, out=full_prefix[1:])
 
     state = _PlanState(spec, open_page_limit)
     prim_page = np.empty(n, dtype=np.int64)
     prim_sec = np.empty(n, dtype=np.int64)
-    n_inline = deg.copy()  # overwritten for split nodes
+    n_inline = deg_plan.copy()  # overwritten for split nodes
     # node -> (secondary_counts, [(page, section), ...]); split nodes only
     splits: Dict[int, Tuple[List[int], List[Tuple[int, int]]]] = {}
 
@@ -383,16 +407,24 @@ def build_directgraph(
                 full_prefix[node + 1 : end + 1] - full_prefix[node:end]
             ).tolist()
             state.sizes[cur].extend(run_sizes)
-            state.entries[cur].extend(
-                (v, SECTION_TYPE_PRIMARY, 0) for v in range(node, end)
-            )
+            if ids_list is None:
+                state.entries[cur].extend(
+                    (v, SECTION_TYPE_PRIMARY, 0) for v in range(node, end)
+                )
+            else:
+                state.entries[cur].extend(
+                    (ids_list[v], SECTION_TYPE_PRIMARY, 0)
+                    for v in range(node, end)
+                )
             cur_used += int(full_prefix[end] - full_prefix[node])
             cur_nsec += run
             node = end
             continue
         # Node `node` does not fit whole: split it at the page boundary,
         # or start it on a fresh page when the cut is not worth it.
-        split = _plan_split(int(deg[node]), budget, base_header, sec_cap, payload)
+        split = _plan_split(
+            int(deg_plan[node]), budget, base_header, sec_cap, payload
+        )
         if split is None:
             if cur_used == 0 and cur_nsec == 0:  # pragma: no cover
                 raise ValueError(
@@ -404,15 +436,16 @@ def build_directgraph(
             cur_nsec = 0
             continue  # replan `node` against the fresh page
         n_sec, n_il = split
+        node_id = node if ids_list is None else ids_list[node]
         psize = base_header + ADDRESS_BYTES * (n_sec + n_il)
         prim_page[node] = cur
         prim_sec[node] = cur_nsec
         n_inline[node] = n_il
         state.sizes[cur].append(psize)
-        state.entries[cur].append((node, SECTION_TYPE_PRIMARY, 0))
+        state.entries[cur].append((node_id, SECTION_TYPE_PRIMARY, 0))
         cur_used += psize
         cur_nsec += 1
-        remaining = int(deg[node]) - n_il
+        remaining = int(deg_plan[node]) - n_il
         counts = [sec_cap] * (remaining // sec_cap)
         if remaining % sec_cap:
             counts.append(remaining % sec_cap)
@@ -421,13 +454,20 @@ def build_directgraph(
             ssize = SECONDARY_HEADER_BYTES + ADDRESS_BYTES * count
             spage = state.place_secondary(ssize)
             sec_addrs.append((spage, len(state.entries[spage])))
-            state.entries[spage].append((node, SECTION_TYPE_SECONDARY, ordinal))
+            state.entries[spage].append((node_id, SECTION_TYPE_SECONDARY, ordinal))
             state.sizes[spage].append(ssize)
             state.used[spage] += ssize
-        splits[node] = (counts, sec_addrs)
+        splits[node_id] = (counts, sec_addrs)
         node += 1
 
-    # Materialize the public plan objects.
+    # Materialize the public plan objects (node-id indexed). The planning
+    # arrays are position-indexed; ids[inv[v]] == v maps them back.
+    if ids is not None:
+        inv = np.empty(n, dtype=np.int64)
+        inv[ids] = np.arange(n)
+        prim_page = prim_page[inv]
+        prim_sec = prim_sec[inv]
+        n_inline = n_inline[inv]
     deg_list = deg.tolist()
     n_inline_list = n_inline.tolist()
     prim_page_list = prim_page.tolist()

@@ -118,10 +118,19 @@ class ImageCache:
 
     # -- keys -----------------------------------------------------------------
 
-    def key_for(self, workload, page_size: int, fmt: FormatSpec) -> str:
-        """Hash of everything the image bytes depend on."""
-        return stable_hash(
-            {
+    def key_for(
+        self,
+        workload,
+        page_size: int,
+        fmt: FormatSpec,
+        layout: str = "node-order",
+    ) -> str:
+        """Hash of everything the image bytes depend on.
+
+        ``layout`` joins the key only when it is not the default, so
+        every pre-layout cache entry keeps its key.
+        """
+        payload = {
                 "kind": "directgraph-image",
                 "schema": IMAGE_SCHEMA_VERSION,
                 "workload": workload,
@@ -135,8 +144,10 @@ class ImageCache:
                     "page_bits": fmt.codec.page_bits,
                     "section_bits": fmt.codec.section_bits,
                 },
-            }
-        )
+        }
+        if layout != "node-order":
+            payload["layout"] = layout
+        return stable_hash(payload)
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.npz"

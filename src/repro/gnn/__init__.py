@@ -1,7 +1,12 @@
 """GNN substrate: graphs, features, reference sampling, and the model."""
 
 from .features import DenseFeatureTable, FeatureTable, ProceduralFeatureTable
-from .generators import power_law_graph, ring_of_cliques, uniform_random_graph
+from .generators import (
+    community_graph,
+    power_law_graph,
+    ring_of_cliques,
+    uniform_random_graph,
+)
 from .graph import Graph
 from .model import ComputeShape, GnnLayer, GnnModel, minibatch_compute_shapes
 from .training import LayerGradients, SgdTrainer, forward_backward, mse_loss
@@ -19,6 +24,7 @@ __all__ = [
     "Graph",
     "uniform_random_graph",
     "power_law_graph",
+    "community_graph",
     "ring_of_cliques",
     "FeatureTable",
     "DenseFeatureTable",

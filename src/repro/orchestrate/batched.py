@@ -95,7 +95,10 @@ def _start_run(job: Tuple) -> PlatformRun:
     cell, seed, image_cache_root = job
     config = cell.resolved_config()
     prepared = _prepared_for(
-        cell.resolved_workload(), config.flash.page_size, image_cache_root
+        cell.resolved_workload(),
+        config.flash.page_size,
+        image_cache_root,
+        cell.layout,
     )
     return PlatformRun(
         cell.resolved_platform(),

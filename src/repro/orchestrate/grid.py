@@ -32,6 +32,7 @@ from ..platforms.background import BackgroundIoConfig
 from ..platforms.features import PlatformFeatures
 from ..platforms.registry import platform_by_name
 from ..platforms.result import RunResult
+from ..directgraph.layout import DEFAULT_LAYOUT
 from ..platforms.runner import DEFAULT_SCALED_NODES, PreparedWorkload, run_platform
 from ..rng import stream_seed
 from ..ssd.config import SSDConfig, ull_ssd
@@ -80,6 +81,13 @@ class GridCell:
     sample_trace: bool = False
     background_io: Optional[BackgroundIoConfig] = None
     page_cache: Optional[CacheConfig] = None
+    # DirectGraph page layout (see repro.directgraph.layout.LAYOUTS);
+    # the default keeps pre-layout cache keys and image bytes.
+    layout: str = DEFAULT_LAYOUT
+    # Explicit per-batch target tuples (len == num_batches, may be
+    # ragged/empty); None keeps the seeded target picker. The scale-out
+    # router uses this to hand each device its owned slice of a batch.
+    targets: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     def resolved_platform(self) -> PlatformFeatures:
         if isinstance(self.platform, PlatformFeatures):
@@ -119,6 +127,11 @@ class GridCell:
         if self.page_cache is not None:
             # same rule again: uncached-datapath cells keep their keys
             params["page_cache"] = self.page_cache
+        if self.layout != DEFAULT_LAYOUT:
+            # conditional like the rest: node-order cells keep their keys
+            params["layout"] = self.layout
+        if self.targets is not None:
+            params["targets"] = self.targets
         return params
 
 
@@ -160,7 +173,7 @@ def cell_cache_key(cell: GridCell, seed: int) -> str:
 # fast path over the on-disk ImageCache. Long sweeps over many distinct
 # workloads evict least-recently-used entries instead of accumulating
 # every prepared image in RAM.
-_PREPARED_MEMO: "OrderedDict[Tuple[WorkloadSpec, int], PreparedWorkload]" = (
+_PREPARED_MEMO: "OrderedDict[Tuple[WorkloadSpec, int, str], PreparedWorkload]" = (
     OrderedDict()
 )
 _PREPARED_MEMO_MAX = 8
@@ -178,7 +191,9 @@ def _backfill_image(
     if prepared.image.pages is None:
         return
     cache = ImageCache(image_cache_root)
-    key = cache.key_for(prepared.spec, page_size, prepared.image.spec)
+    key = cache.key_for(
+        prepared.spec, page_size, prepared.image.spec, layout=prepared.layout
+    )
     if key not in cache:
         cache.put(key, prepared.graph, prepared.image)
 
@@ -188,10 +203,10 @@ def adopt_prepared(prepared: PreparedWorkload) -> None:
 
     Callers that already hold a :class:`PreparedWorkload` (benchmark
     harnesses, :func:`repro.platforms.scaleout.run_scaleout`) adopt it so
-    a grid over the same (spec, page_size) never rebuilds — the serial
-    path and fork workers hit the memo directly.
+    a grid over the same (spec, page_size, layout) never rebuilds — the
+    serial path and fork workers hit the memo directly.
     """
-    key = (prepared.spec, prepared.image.spec.page_size)
+    key = (prepared.spec, prepared.image.spec.page_size, prepared.layout)
     _PREPARED_MEMO[key] = prepared
     _PREPARED_MEMO.move_to_end(key)
     while len(_PREPARED_MEMO) > _PREPARED_MEMO_MAX:
@@ -202,8 +217,9 @@ def _prepared_for(
     spec: WorkloadSpec,
     page_size: int,
     image_cache_root: Optional[str] = None,
+    layout: str = DEFAULT_LAYOUT,
 ) -> PreparedWorkload:
-    key = (spec, page_size)
+    key = (spec, page_size, layout)
     prepared = _PREPARED_MEMO.get(key)
     if prepared is not None:
         _PREPARED_MEMO.move_to_end(key)
@@ -211,7 +227,7 @@ def _prepared_for(
             _backfill_image(prepared, page_size, image_cache_root)
         return prepared
     prepared = PreparedWorkload.prepare(
-        spec, page_size=page_size, image_cache=image_cache_root
+        spec, page_size=page_size, image_cache=image_cache_root, layout=layout
     )
     _PREPARED_MEMO[key] = prepared
     while len(_PREPARED_MEMO) > _PREPARED_MEMO_MAX:
@@ -224,7 +240,10 @@ def _execute_cell(job: Tuple[GridCell, int, Optional[str]]) -> Dict:
     cell, seed, image_cache_root = job
     config = cell.resolved_config()
     prepared = _prepared_for(
-        cell.resolved_workload(), config.flash.page_size, image_cache_root
+        cell.resolved_workload(),
+        config.flash.page_size,
+        image_cache_root,
+        cell.layout,
     )
     result = run_platform(
         cell.resolved_platform(),
@@ -354,9 +373,9 @@ def run_grid(
             cell = cells[i]
             spec = cell.resolved_workload()
             page_size = cell.resolved_config().flash.page_size
-            if (spec, page_size) not in seen:
-                seen.add((spec, page_size))
-                _prepared_for(spec, page_size, icache_root)
+            if (spec, page_size, cell.layout) not in seen:
+                seen.add((spec, page_size, cell.layout))
+                _prepared_for(spec, page_size, icache_root, cell.layout)
 
     jobs_args = [(cells[i], seeds[i], icache_root) for i in pending]
     if chunk == 1:

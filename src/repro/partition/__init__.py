@@ -1,0 +1,25 @@
+"""Pluggable graph partitioners for the scale-out array model."""
+
+from .partitioners import (
+    DEFAULT_PARTITIONER,
+    PARTITIONERS,
+    edge_cut_fraction,
+    greedy_edgecut_partition,
+    hash_partition,
+    label_prop_partition,
+    partition_capacities,
+    partition_graph,
+    symmetrized_csr,
+)
+
+__all__ = [
+    "PARTITIONERS",
+    "DEFAULT_PARTITIONER",
+    "partition_graph",
+    "hash_partition",
+    "greedy_edgecut_partition",
+    "label_prop_partition",
+    "symmetrized_csr",
+    "edge_cut_fraction",
+    "partition_capacities",
+]

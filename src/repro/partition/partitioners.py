@@ -1,0 +1,255 @@
+"""Graph partitioners for the scale-out array (BeaconGNN Section VIII).
+
+Three policies behind one registry, all deterministic pure functions of
+``(graph shape, num_devices, seed)`` returning a packed int32 ownership
+map ``owner[node] -> device``:
+
+``hash``
+    The array's original stateless partition: one keyed ``counter_draw``
+    per node (:func:`repro.platforms.scaleout.shard_of`). Needs no graph
+    and balances only in expectation. This is the baseline every other
+    policy is measured against — and the only one wired into the golden
+    digest fixtures, which is why :func:`partition_graph` reproduces it
+    bit-for-bit.
+
+``greedy-edgecut``
+    Degree-ordered greedy balanced edge-cut (the classic LDG/Fennel
+    streaming family): nodes are visited hubs-first and each goes to the
+    open device holding most of its already-placed neighbors, under a
+    hard ±1 capacity. A node with no placed neighbors seeds the
+    least-filled open device, so early hubs spread out instead of piling
+    onto device 0.
+
+``label-prop``
+    Bounded-iteration label propagation with balance capping: start from
+    the hash partition, run ``rounds`` sweeps moving each node to the
+    neighbor-majority device when that strictly reduces its cut —
+    against a slack capacity of ``ceil(cap * 1.25)`` so the
+    exactly-balanced start is not gridlocked — then restore exact ±1
+    balance by evicting minimum-loss nodes from over-full devices into
+    under-full ones.
+
+Both locality-aware policies see the *symmetrized* adjacency: ownership
+should reflect who references a node, not just whom it references.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..gnn.graph import Graph
+from ..rng import counter_draw
+
+__all__ = [
+    "PARTITIONERS",
+    "DEFAULT_PARTITIONER",
+    "partition_graph",
+    "hash_partition",
+    "greedy_edgecut_partition",
+    "label_prop_partition",
+    "symmetrized_csr",
+    "edge_cut_fraction",
+    "partition_capacities",
+]
+
+#: Registry order is presentation order (CLI help, bench tables).
+PARTITIONERS: Tuple[str, ...] = ("hash", "greedy-edgecut", "label-prop")
+DEFAULT_PARTITIONER = "hash"
+
+# Must match repro.platforms.scaleout._PARTITION_SALT: hash ownership is
+# one shared key stream regardless of which module computes it.
+_PARTITION_SALT = 0x5EED_0001
+
+#: Label propagation: bounded sweeps + slack factor over the exact ±1
+#: capacity during the sweeps (the final rebalance restores exactness).
+_LP_ROUNDS = 8
+_LP_SLACK = 1.25
+
+
+def partition_capacities(num_nodes: int, num_devices: int) -> np.ndarray:
+    """±1-balanced per-device node capacities summing to ``num_nodes``."""
+    base, rem = divmod(num_nodes, num_devices)
+    cap = np.full(num_devices, base, dtype=np.int64)
+    cap[:rem] += 1
+    return cap
+
+
+def symmetrized_csr(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """Undirected (symmetrized, with duplicates) CSR view of ``graph``.
+
+    Every directed edge contributes both directions; parallel edges are
+    kept so a frequently-referenced neighbor weighs proportionally in
+    the placement decisions.
+    """
+    n = graph.num_nodes
+    src = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(graph.indptr).astype(np.int64)
+    )
+    dst = graph.indices.astype(np.int64)
+    u = np.concatenate([src, dst])
+    v = np.concatenate([dst, src])
+    order = np.lexsort((v, u))
+    u, v = u[order], v[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(u, minlength=n), out=indptr[1:])
+    return indptr, v
+
+
+def hash_partition(num_nodes: int, num_devices: int, seed: int) -> np.ndarray:
+    """The stateless per-node hash partition, packed int32."""
+    if num_devices == 1:
+        return np.zeros(num_nodes, dtype=np.int32)
+    return np.fromiter(
+        (
+            counter_draw(seed, _PARTITION_SALT, node) % num_devices
+            for node in range(num_nodes)
+        ),
+        dtype=np.int32,
+        count=num_nodes,
+    )
+
+
+def greedy_edgecut_partition(
+    graph: Graph, num_devices: int, seed: int
+) -> np.ndarray:
+    """Degree-ordered greedy balanced edge-cut, packed int32."""
+    del seed  # the visit order and tie-breaks are structural
+    n = graph.num_nodes
+    if num_devices == 1:
+        return np.zeros(n, dtype=np.int32)
+    indptr, nbrs = symmetrized_csr(graph)
+    deg = np.diff(indptr)
+    cap = partition_capacities(n, num_devices)
+    owner = np.full(n, -1, dtype=np.int32)
+    fill = np.zeros(num_devices, dtype=np.int64)
+    # Hubs first; node id breaks degree ties deterministically.
+    visit = np.lexsort((np.arange(n), -deg))
+    sentinel = np.iinfo(np.int64).max
+    for v in visit:
+        placed = owner[nbrs[indptr[v] : indptr[v + 1]]]
+        placed = placed[placed >= 0]
+        open_dev = fill < cap
+        if placed.size:
+            counts = np.bincount(placed, minlength=num_devices)
+        else:
+            counts = None
+        if counts is None or not counts[open_dev].max(initial=0):
+            # no placed neighbors: seed on the least-filled open device
+            best = int(np.argmin(np.where(open_dev, fill, sentinel)))
+        else:
+            best = int(np.argmax(np.where(open_dev, counts, -1)))
+        owner[v] = best
+        fill[best] += 1
+    return owner
+
+
+def label_prop_partition(
+    graph: Graph, num_devices: int, seed: int, rounds: int = _LP_ROUNDS
+) -> np.ndarray:
+    """Capped label propagation from the hash partition, packed int32."""
+    n = graph.num_nodes
+    if num_devices == 1:
+        return np.zeros(n, dtype=np.int32)
+    indptr, nbrs = symmetrized_csr(graph)
+    cap = partition_capacities(n, num_devices)
+    owner = hash_partition(n, num_devices, seed).astype(np.int64)
+    fill = np.bincount(owner, minlength=num_devices)
+    # Slack capacity during propagation: the exactly-balanced hash start
+    # leaves every bucket full, so without slack no move is ever legal.
+    slack = np.ceil(cap * _LP_SLACK).astype(np.int64)
+    deg = np.diff(indptr)
+    visit = np.lexsort((np.arange(n), -deg))
+    blocked = -(10**9)
+    for _ in range(max(0, rounds)):
+        moved = 0
+        for v in visit:
+            cur = owner[v]
+            counts = np.bincount(
+                owner[nbrs[indptr[v] : indptr[v + 1]]], minlength=num_devices
+            )
+            gain = counts - counts[cur]
+            room = fill < slack
+            room[cur] = True
+            gain = np.where(room, gain, blocked)
+            best = int(np.argmax(gain))
+            if gain[best] > 0 and best != cur:
+                owner[v] = best
+                fill[cur] -= 1
+                fill[best] += 1
+                moved += 1
+        if moved == 0:
+            break
+    # Exact rebalance: evict minimum-loss nodes from over-full devices
+    # into under-full ones (stable argsort keeps this deterministic).
+    while True:
+        over = np.where(fill > cap)[0]
+        if over.size == 0:
+            break
+        device = int(over[0])
+        members = np.where(owner == device)[0]
+        losses = np.empty(members.size, dtype=np.int64)
+        for i, v in enumerate(members):
+            losses[i] = np.count_nonzero(
+                owner[nbrs[indptr[v] : indptr[v + 1]]] == device
+            )
+        movers = members[
+            np.argsort(losses, kind="stable")[: int(fill[device] - cap[device])]
+        ]
+        under = np.where(fill < cap)[0]
+        ui = 0
+        for v in movers:
+            while fill[under[ui]] >= cap[under[ui]]:
+                ui += 1
+            owner[v] = under[ui]
+            fill[device] -= 1
+            fill[under[ui]] += 1
+    return owner.astype(np.int32)
+
+
+def partition_graph(
+    num_nodes: int,
+    num_devices: int,
+    seed: int,
+    *,
+    partitioner: str = DEFAULT_PARTITIONER,
+    graph: Optional[Graph] = None,
+) -> np.ndarray:
+    """Dispatch to a registered partitioner; returns int32 ``owner`` map.
+
+    ``hash`` ignores ``graph``; the locality-aware policies require one
+    (its node count must match ``num_nodes``).
+    """
+    if num_nodes < 0:
+        raise ValueError("num_nodes must be non-negative")
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    if partitioner not in PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r}; available: "
+            f"{', '.join(PARTITIONERS)}"
+        )
+    if partitioner == "hash":
+        return hash_partition(num_nodes, num_devices, seed)
+    if graph is None:
+        raise ValueError(f"partitioner {partitioner!r} requires the graph")
+    if graph.num_nodes != num_nodes:
+        raise ValueError(
+            f"graph has {graph.num_nodes} nodes, expected {num_nodes}"
+        )
+    if partitioner == "greedy-edgecut":
+        return greedy_edgecut_partition(graph, num_devices, seed)
+    return label_prop_partition(graph, num_devices, seed)
+
+
+def edge_cut_fraction(graph: Graph, owner: np.ndarray) -> float:
+    """Fraction of directed edges whose endpoints live on different devices."""
+    if graph.num_edges == 0:
+        return 0.0
+    src = np.repeat(
+        np.arange(graph.num_nodes, dtype=np.int64),
+        np.diff(graph.indptr).astype(np.int64),
+    )
+    owner = np.asarray(owner)
+    return float(np.mean(owner[src] != owner[graph.indices]))

@@ -9,8 +9,10 @@ checked-in ``BENCH_kernel.json``. :mod:`repro.perf.preparebench` covers
 the workload-prepare pipeline (``repro perf --suite prepare``,
 ``BENCH_prepare.json``), :mod:`repro.perf.gridbench` the grid
 dispatch overhead (``repro perf --suite grid``, ``BENCH_grid.json``),
-and :mod:`repro.perf.cachebench` the page-cache datapath and offline
-replay engines (``repro perf --suite cache``, ``BENCH_cache.json``).
+:mod:`repro.perf.cachebench` the page-cache datapath and offline
+replay engines (``repro perf --suite cache``, ``BENCH_cache.json``), and
+:mod:`repro.perf.partitionbench` the partition/layout locality wins
+(``repro perf --suite partition``, ``BENCH_partition.json``).
 """
 
 from .probe import KernelCounters, KernelProbe
@@ -27,6 +29,7 @@ from .microbench import (
 from .preparebench import PREPARE_IMPLS, run_prepare_suite
 from .gridbench import grid_suite_cells, run_grid_suite
 from .cachebench import run_cache_suite, synthetic_page_trace
+from .partitionbench import run_partition_suite
 
 __all__ = [
     "KernelCounters",
@@ -39,6 +42,7 @@ __all__ = [
     "run_grid_suite",
     "grid_suite_cells",
     "run_cache_suite",
+    "run_partition_suite",
     "synthetic_page_trace",
     "format_report",
     "write_report",

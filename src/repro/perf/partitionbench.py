@@ -1,0 +1,176 @@
+"""Partition/layout locality benchmarks behind ``repro perf --suite partition``.
+
+Two claims to defend, measured — not asserted from the graph structure:
+
+* **a locality-aware partition cuts cross-device traffic** — the suite
+  runs the same 4-SSD array twice on the community workload (the planted
+  community graph, where locality exists to be found) and reports
+  ``partition_traffic_ratio``: summed off-diagonal ``link_vectors``
+  under the hash partition over the same sum under ``label-prop`` with
+  routed targets. A ``ratio`` metric, gated as a floor by
+  ``check_against_baseline``; the acceptance bar is 1.33x (a >=25%
+  reduction).
+* **a locality page layout cuts page reads and cache misses** — one
+  fig14-scale run per layout at a fixed small page cache, reporting
+  ``layout_flash_reads_ratio`` (uncached-path flash page reads,
+  node-order over locality) and ``layout_missrate_ratio`` (page-cache
+  miss rate, node-order over locality). Both are deterministic counter
+  ratios: same seeds, same sampled trees (layouts never change the
+  draws), only the page walk differs.
+
+The timing rows (``partition_greedy``/``partition_labelprop``/
+``layout_locality``) report nodes/second through each algorithm so
+regressions in the partitioners themselves are caught too.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from .microbench import BENCH_SCHEMA_VERSION
+
+__all__ = ["run_partition_suite"]
+
+# The community workload: amazon-like degrees with planted communities —
+# the graph family where partition/layout locality is real. (On pure
+# configuration-model graphs every neighborhood is an expander and no
+# partition can win; see EXPERIMENTS.md.)
+_RUN_PLATFORM = "bg2"
+_RUN_WORKLOAD = "community"
+_RUN_NODES = 2048
+_RUN_BATCH = 32
+_RUN_BATCHES = 2
+_RUN_HOPS = 3
+_RUN_FANOUT = 3
+_RUN_DEVICES = 4
+# Fixed-size page cache for the miss-rate comparison: small enough that
+# layout locality decides what stays resident.
+_CACHE_MB = 0.25
+
+
+def _row(metric: str, value: float, ops: int, seconds: float) -> Dict:
+    return {"metric": metric, "value": value, "ops": ops, "seconds": seconds}
+
+
+def _off_diagonal(link_vectors) -> int:
+    return sum(
+        v for i, row in enumerate(link_vectors) for j, v in enumerate(row) if i != j
+    )
+
+
+def run_partition_suite(repeats: int = 3) -> Dict:
+    """Run the partition/layout suite; returns a schema-tagged report."""
+    from ..cache.page import CacheConfig
+    from ..orchestrate.grid import _prepared_for
+    from ..partition import greedy_edgecut_partition, label_prop_partition
+    from ..platforms.runner import run_platform
+    from ..platforms.scaleout import run_scaleout
+    from ..ssd.config import ull_ssd
+    from ..workloads.registry import workload_by_name
+
+    spec = workload_by_name(_RUN_WORKLOAD).scaled(_RUN_NODES)
+    config = ull_ssd()
+    # Pre-warm both layouts' images (untimed): the timed/counted runs
+    # below measure partitioning and the datapath, not DirectGraph builds.
+    prepared = _prepared_for(spec, config.flash.page_size, None)
+    prepared_loc = _prepared_for(
+        spec, config.flash.page_size, None, "locality"
+    )
+    graph = prepared.graph
+    n = graph.num_nodes
+
+    def best_of(fn) -> float:
+        best = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    # -- algorithm timings ----------------------------------------------------
+    greedy_s = best_of(lambda: greedy_edgecut_partition(graph, _RUN_DEVICES, 0))
+    labelprop_s = best_of(lambda: label_prop_partition(graph, _RUN_DEVICES, 0))
+    from ..directgraph.layout import locality_order
+
+    layout_s = best_of(lambda: locality_order(graph))
+
+    # -- measured cross-partition traffic: hash vs routed label-prop ----------
+    def array(partitioner: str):
+        return run_scaleout(
+            _RUN_DEVICES,
+            _RUN_PLATFORM,
+            prepared,
+            batch_size=_RUN_BATCH,
+            num_batches=_RUN_BATCHES,
+            num_hops=_RUN_HOPS,
+            fanout=_RUN_FANOUT,
+            ssd_config=config,
+            seed=0,
+            partitioner=partitioner,
+        )
+
+    hash_off = _off_diagonal(array("hash").link_vectors)
+    lp_off = _off_diagonal(array("label-prop").link_vectors)
+    traffic_ratio = hash_off / lp_off if lp_off > 0 else float(hash_off)
+
+    # -- measured page reads / miss rate: node-order vs locality layout -------
+    def simulate(workload, layout: str):
+        return run_platform(
+            _RUN_PLATFORM,
+            workload,
+            ssd_config=config,
+            batch_size=_RUN_BATCH,
+            num_batches=_RUN_BATCHES,
+            num_hops=_RUN_HOPS,
+            fanout=_RUN_FANOUT,
+            seed=0,
+            layout=layout,
+            page_cache=CacheConfig(capacity_mb=_CACHE_MB, policy="lru"),
+        )
+
+    base = simulate(prepared, "node-order")
+    loc = simulate(prepared_loc, "locality")
+    base_reads = base.meters.get("flash_reads")
+    loc_reads = loc.meters.get("flash_reads")
+    reads_ratio = base_reads / loc_reads if loc_reads > 0 else float(base_reads)
+    def miss_rate(result) -> float:
+        accesses = result.cache["hits"] + result.cache["misses"]
+        return result.cache["misses"] / accesses if accesses else 0.0
+
+    base_miss = miss_rate(base)
+    loc_miss = miss_rate(loc)
+    miss_ratio = base_miss / loc_miss if loc_miss > 0 else float(base_miss)
+
+    results = {
+        "partition_greedy": _row(
+            "ops_per_sec", n / greedy_s if greedy_s > 0 else 0.0, n, greedy_s
+        ),
+        "partition_labelprop": _row(
+            "ops_per_sec", n / labelprop_s if labelprop_s > 0 else 0.0, n, labelprop_s
+        ),
+        "layout_locality": _row(
+            "ops_per_sec", n / layout_s if layout_s > 0 else 0.0, n, layout_s
+        ),
+        "partition_traffic_ratio": _row("ratio", traffic_ratio, hash_off, 0.0),
+        "layout_flash_reads_ratio": _row(
+            "ratio", reads_ratio, int(base_reads), 0.0
+        ),
+        "layout_missrate_ratio": _row("ratio", miss_ratio, 1, 0.0),
+    }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "results": results,
+        "params": {
+            "suite": "partition",
+            "platform": _RUN_PLATFORM,
+            "workload": _RUN_WORKLOAD,
+            "nodes": _RUN_NODES,
+            "batch_size": _RUN_BATCH,
+            "num_batches": _RUN_BATCHES,
+            "devices": _RUN_DEVICES,
+            "cache_mb": _CACHE_MB,
+        },
+    }

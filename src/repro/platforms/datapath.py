@@ -556,6 +556,11 @@ class DataPrepEngine:
         yield from self._minibatch_kickoff(targets)
         issuer = "firmware"  # roots are seeded by the GNN engine
         roots = [self._make_root(t) for t in dict.fromkeys(targets)]
+        if not roots:
+            # ctx.done only fires when an outstanding command drains;
+            # an empty batch (a routed device owning none of a batch's
+            # targets) must not wait on it
+            return
         for root in roots:
             ctx.outstanding += 1
             self.sim.process(

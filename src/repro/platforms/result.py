@@ -80,11 +80,17 @@ class RunResult:
     # Page-cache counters (policy, capacity, hits/misses/evictions,
     # hit_rate), present only when run_platform(page_cache=...) enabled one.
     cache: Optional[Dict] = None
+    # Actual target count when the caller supplied explicit (possibly
+    # ragged) batches via run_platform(targets=...); None for the
+    # standard batch_size x num_batches runs.
+    served_targets: Optional[int] = None
 
     # -- headline metrics ------------------------------------------------------
 
     @property
     def total_targets(self) -> int:
+        if self.served_targets is not None:
+            return self.served_targets
         return self.batch_size * self.num_batches
 
     @property
@@ -216,6 +222,8 @@ class RunResult:
         if self.cache is not None:
             # same conditional-key contract as sample_trace/background_io
             data["cache"] = self.cache
+        if self.served_targets is not None:
+            data["served_targets"] = self.served_targets
         return data
 
     @classmethod
@@ -248,4 +256,9 @@ class RunResult:
                 else None
             ),
             cache=data.get("cache"),
+            served_targets=(
+                int(data["served_targets"])
+                if data.get("served_targets") is not None
+                else None
+            ),
         )

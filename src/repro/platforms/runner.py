@@ -20,6 +20,7 @@ import numpy as np
 from ..cache.page import CacheConfig, PageCache
 from ..directgraph.address import AddressCodec
 from ..directgraph.builder import DirectGraphImage, build_directgraph
+from ..directgraph.layout import DEFAULT_LAYOUT, LAYOUTS, layout_order
 from ..directgraph.spec import FormatSpec
 from ..energy.coefficients import EnergyCoefficients
 from ..energy.model import attribute_energy
@@ -55,6 +56,7 @@ class PreparedWorkload:
     graph: Graph
     features: ProceduralFeatureTable
     image: DirectGraphImage
+    layout: str = DEFAULT_LAYOUT
 
     @classmethod
     def prepare(
@@ -62,6 +64,7 @@ class PreparedWorkload:
         spec: WorkloadSpec,
         page_size: int = 4096,
         image_cache=None,
+        layout: str = DEFAULT_LAYOUT,
     ) -> "PreparedWorkload":
         """Instantiate a workload, loading the image from cache when possible.
 
@@ -70,16 +73,29 @@ class PreparedWorkload:
         path, or ``True`` (default location); ``None``/``False`` always
         builds. The feature table is procedural, so only the graph and
         the serialized image come off disk on a hit.
+
+        ``layout`` picks the page layout
+        (:data:`~repro.directgraph.layout.LAYOUTS`); the default
+        ``"node-order"`` reproduces pre-layout images byte-for-byte and
+        keeps their cache keys.
         """
         from ..directgraph.imagecache import ImageCache
 
+        if layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown layout {layout!r}; available: {', '.join(LAYOUTS)}"
+            )
         fmt = FormatSpec(
             page_size=page_size,
             feature_dim=spec.feature_dim,
             codec=AddressCodec.for_geometry(1 << 40, page_size),
         )
         cache = ImageCache.coerce(image_cache)
-        key = cache.key_for(spec, page_size, fmt) if cache is not None else None
+        key = (
+            cache.key_for(spec, page_size, fmt, layout=layout)
+            if cache is not None
+            else None
+        )
         if cache is not None:
             cached = cache.get(key)
             if cached is not None:
@@ -88,13 +104,18 @@ class PreparedWorkload:
                     graph=cached.graph,
                     features=spec.build_features(),
                     image=cached.image,
+                    layout=layout,
                 )
         graph = spec.build_graph()
         features = spec.build_features()
-        image = build_directgraph(graph, features, fmt)
+        image = build_directgraph(
+            graph, features, fmt, order=layout_order(graph, layout)
+        )
         if cache is not None:
             cache.put(key, graph, image)
-        return cls(spec=spec, graph=graph, features=features, image=image)
+        return cls(
+            spec=spec, graph=graph, features=features, image=image, layout=layout
+        )
 
 
 def _pick_targets(
@@ -147,6 +168,8 @@ class PlatformRun:
         background_io: Optional["BackgroundIoConfig"] = None,
         sample_trace: bool = False,
         page_cache: Optional[CacheConfig] = None,
+        layout: str = DEFAULT_LAYOUT,
+        targets: Optional[Sequence[Sequence[int]]] = None,
     ):
         if isinstance(platform, str):
             platform = platform_by_name(platform)
@@ -157,13 +180,20 @@ class PlatformRun:
                 if workload.num_nodes <= scaled_nodes
                 else workload.scaled(scaled_nodes)
             )
-            prepared = PreparedWorkload.prepare(spec, page_size=config.flash.page_size)
+            prepared = PreparedWorkload.prepare(
+                spec, page_size=config.flash.page_size, layout=layout
+            )
         else:
             prepared = workload
             if prepared.image.spec.page_size != config.flash.page_size:
                 raise ValueError(
                     f"prepared image page size {prepared.image.spec.page_size} "
                     f"differs from SSD page size {config.flash.page_size}"
+                )
+            if prepared.layout != layout:
+                raise ValueError(
+                    f"prepared workload uses layout {prepared.layout!r}, "
+                    f"run requested {layout!r}"
                 )
 
         task = GnnTaskConfig(
@@ -191,7 +221,19 @@ class PlatformRun:
             from .background import BackgroundIoInjector
 
             injector = BackgroundIoInjector(sim, prep, background_io)
-        batches = _pick_targets(prepared.graph, batch_size, num_batches, seed + 1)
+        if targets is not None:
+            if len(targets) != num_batches:
+                raise ValueError(
+                    f"explicit targets have {len(targets)} batches, "
+                    f"expected num_batches={num_batches}"
+                )
+            batches = [[int(t) for t in batch] for batch in targets]
+            served = sum(len(batch) for batch in batches)
+        else:
+            batches = _pick_targets(
+                prepared.graph, batch_size, num_batches, seed + 1
+            )
+            served = None
         done = runner.run(batches)
         if injector is not None:
             done.add_callback(lambda _ev: injector.stop())
@@ -208,6 +250,7 @@ class PlatformRun:
         self._num_batches = num_batches
         self._energy_coefficients = energy_coefficients
         self._sample_trace = sample_trace
+        self._served_targets = served
         self._result: Optional[RunResult] = None
 
     @property
@@ -260,6 +303,7 @@ class PlatformRun:
             die_trackers=prep.device.flash.die_trackers(),
             channel_trackers=prep.device.flash.channel_trackers(),
             firmware_busy_seconds=prep.device.firmware_busy_seconds(),
+            served_targets=self._served_targets,
         )
         report = attribute_energy(
             meters=meters.as_dict(),
@@ -305,6 +349,8 @@ def run_platform(
     background_io: Optional["BackgroundIoConfig"] = None,
     sample_trace: bool = False,
     page_cache: Optional[CacheConfig] = None,
+    layout: str = DEFAULT_LAYOUT,
+    targets: Optional[Sequence[Sequence[int]]] = None,
 ) -> RunResult:
     """Simulate ``num_batches`` pipelined mini-batches on one platform.
 
@@ -322,6 +368,18 @@ def run_platform(
     DRAM-latency charge instead of the full device walk, and the result
     gains a ``cache`` counter block. ``None`` — or a capacity rounding to
     zero pages — leaves the run bit-identical to an uncached one.
+
+    ``layout`` selects the DirectGraph page layout
+    (:data:`~repro.directgraph.layout.LAYOUTS`); a prepared workload must
+    already carry the requested layout. Layouts never change which
+    subgraphs are sampled — only which flash pages the walk touches.
+
+    ``targets`` overrides the seeded target picker with explicit
+    per-batch target lists (one list per batch, ``len(targets)`` must
+    equal ``num_batches``; batches may be ragged or empty). The result
+    then reports ``served_targets`` so throughput and energy-per-target
+    reflect the real count. The scale-out array model uses this to route
+    each device its owned slice of every batch.
 
     The blocking convenience form of :class:`PlatformRun`.
     """
@@ -341,6 +399,8 @@ def run_platform(
         background_io=background_io,
         sample_trace=sample_trace,
         page_cache=page_cache,
+        layout=layout,
+        targets=targets,
     ).run()
 
 

@@ -28,11 +28,15 @@ N-device array as a genuinely *sharded* simulation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from .. import __version__
 from ..cacheutil import stable_hash
+from ..directgraph.layout import DEFAULT_LAYOUT, LAYOUTS
 from ..gnn.sampling import tree_capacity
+from ..partition import DEFAULT_PARTITIONER, PARTITIONERS, partition_graph
 from ..rng import counter_draw, stream_seed
 from ..ssd.config import SSDConfig, ull_ssd
 from ..workloads.registry import workload_by_name
@@ -57,10 +61,12 @@ __all__ = [
 
 FP16_BYTES = 2
 
-# Distinct key-space salts: ownership draws and shard seed streams must
-# never collide with each other or with sampler draws from the same seed.
+# Distinct key-space salts: ownership draws, shard seed streams, and
+# routed target draws must never collide with each other or with sampler
+# draws from the same seed.
 _PARTITION_SALT = 0x5EED_0001
 _SHARD_SALT = 0x5EED_0002
+_ROUTE_SALT = 0x5EED_0004
 
 
 @dataclass(frozen=True)
@@ -76,9 +82,24 @@ def shard_of(node: int, num_devices: int, seed: int) -> int:
     return counter_draw(seed, _PARTITION_SALT, int(node)) % num_devices
 
 
-def partition_nodes(num_nodes: int, num_devices: int, seed: int) -> List[int]:
-    """Ownership map ``owner[node] -> device`` for every node."""
-    return [shard_of(node, num_devices, seed) for node in range(num_nodes)]
+def partition_nodes(
+    num_nodes: int,
+    num_devices: int,
+    seed: int,
+    *,
+    partitioner: str = DEFAULT_PARTITIONER,
+    graph=None,
+) -> np.ndarray:
+    """Ownership map ``owner[node] -> device``, packed int32.
+
+    Delegates to :func:`repro.partition.partition_graph`: the default
+    ``"hash"`` reproduces the original :func:`shard_of` stream
+    bit-for-bit (and needs no ``graph``); the locality-aware policies
+    (``"greedy-edgecut"``, ``"label-prop"``) require one.
+    """
+    return partition_graph(
+        num_nodes, num_devices, seed, partitioner=partitioner, graph=graph
+    )
 
 
 def shard_batch_sizes(batch_size: int, num_devices: int) -> List[int]:
@@ -120,6 +141,10 @@ class ScaleOutResult:
     batch_seconds: float
     total_targets: int
     total_seconds: float
+    # Set only for locality-aware partitions (routed arrays); None means
+    # the original hash partition, keeping pre-partitioner payloads —
+    # and their golden digests — byte-identical.
+    partitioner: Optional[str] = None
 
     @property
     def mode(self) -> str:
@@ -146,7 +171,7 @@ class ScaleOutResult:
     # -- lossless serialization (result cache) ------------------------------
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "num_devices": self.num_devices,
             "per_device": [r.to_dict() for r in self.per_device],
             "shard_batch_sizes": list(self.shard_batch_sizes),
@@ -163,6 +188,9 @@ class ScaleOutResult:
             "total_targets": self.total_targets,
             "total_seconds": self.total_seconds,
         }
+        if self.partitioner is not None:
+            data["partitioner"] = self.partitioner
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ScaleOutResult":
@@ -183,6 +211,7 @@ class ScaleOutResult:
             batch_seconds=float(data["batch_seconds"]),
             total_targets=int(data["total_targets"]),
             total_seconds=float(data["total_seconds"]),
+            partitioner=data.get("partitioner"),
         )
 
 
@@ -217,10 +246,30 @@ def scaleout_cache_key(
     cross_partition_fraction: Optional[float],
     link: P2pLink,
     seed: int,
+    partitioner: str = DEFAULT_PARTITIONER,
+    layout: str = DEFAULT_LAYOUT,
 ) -> str:
-    """Content-addressed cache key for one array configuration."""
+    """Content-addressed cache key for one array configuration.
+
+    ``partitioner``/``layout`` join the key only when they differ from
+    the defaults, so every pre-existing hash/node-order document keeps
+    its key.
+    """
     from ..orchestrate.serialize import SCALEOUT_SCHEMA_VERSION
 
+    run: Dict = {
+        "num_devices": num_devices,
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "num_hops": num_hops,
+        "fanout": fanout,
+        "cross_partition_fraction": cross_partition_fraction,
+        "seed": seed,
+    }
+    if partitioner != DEFAULT_PARTITIONER:
+        run["partitioner"] = partitioner
+    if layout != DEFAULT_LAYOUT:
+        run["layout"] = layout
     return stable_hash(
         {
             "kind": "scaleout",
@@ -230,17 +279,38 @@ def scaleout_cache_key(
             "workload": spec,
             "ssd_config": config,
             "link": link,
-            "run": {
-                "num_devices": num_devices,
-                "batch_size": batch_size,
-                "num_batches": num_batches,
-                "num_hops": num_hops,
-                "fanout": fanout,
-                "cross_partition_fraction": cross_partition_fraction,
-                "seed": seed,
-            },
+            "run": run,
         }
     )
+
+
+def _route_targets(
+    owner: np.ndarray,
+    num_nodes: int,
+    batch_size: int,
+    num_batches: int,
+    num_devices: int,
+    seed: int,
+) -> List[Tuple[Tuple[int, ...], ...]]:
+    """Array-level target draws, routed to each target's owning device.
+
+    One ``_ROUTE_SALT`` counter stream draws every batch's targets for
+    the whole array (without replacement when the graph allows), then
+    each device gets exactly its owned slice — so with a locality-aware
+    partition the roots of every sampled tree are local by construction,
+    and the per-batch union across devices is the same ``batch_size``
+    targets regardless of partitioner.
+    """
+    rng = np.random.default_rng(stream_seed(seed, _ROUTE_SALT))
+    per_device: List[List[Tuple[int, ...]]] = [[] for _ in range(num_devices)]
+    for _ in range(num_batches):
+        if num_nodes >= batch_size:
+            draws = rng.choice(num_nodes, size=batch_size, replace=False)
+        else:
+            draws = rng.integers(0, num_nodes, size=batch_size)
+        for s in range(num_devices):
+            per_device[s].append(tuple(int(t) for t in draws[owner[draws] == s]))
+    return [tuple(batches) for batches in per_device]
 
 
 def scaleout_outcome(
@@ -261,6 +331,8 @@ def scaleout_outcome(
     image_cache=None,
     require_cached: bool = False,
     chunk: Optional[int] = None,
+    partitioner: str = DEFAULT_PARTITIONER,
+    layout: str = DEFAULT_LAYOUT,
 ) -> ScaleOutOutcome:
     """Simulate an N-device BeaconGNN array, with caching and fan-out.
 
@@ -273,20 +345,49 @@ def scaleout_outcome(
 
     The array batch completes when the slowest device finishes and the
     cross-shard feature vectors — measured from the shards' sampling
-    traces against the hash partition, or sized by the analytic
+    traces against the array's partition, or sized by the analytic
     ``cross_partition_fraction`` when one is given — have drained over
     the ``num_devices`` P2P ports in one exchange round.
+
+    ``partitioner`` selects the ownership map
+    (:data:`repro.partition.PARTITIONERS`). The default ``"hash"`` keeps
+    the original model bit-for-bit: each shard draws its own uniform
+    targets. A locality-aware partitioner instead *routes*: one array
+    stream draws every batch's targets and each device serves exactly
+    the targets it owns (:func:`_route_targets`), so the measured
+    ``link_vectors`` reflect the partition's locality.
+
+    ``layout`` selects the DirectGraph page layout every device builds
+    (:data:`repro.directgraph.LAYOUTS`); layouts never change the
+    sampled trees, only which flash pages the walks touch.
 
     ``require_cached=True`` raises ``KeyError`` on a cache miss instead
     of simulating (the warm-cache figure path).
     """
-    from ..orchestrate.grid import GridCell, adopt_prepared, run_grid
+    from ..directgraph import builder as _builder
+    from ..directgraph import imagecache as _imagecache
+    from ..orchestrate.grid import (
+        GridCell,
+        _prepared_for,
+        _resolve_image_cache,
+        adopt_prepared,
+        run_grid,
+    )
     from ..orchestrate.serialize import scaleout_from_payload, scaleout_to_payload
 
     if num_devices < 1:
         raise ValueError("need at least one device")
     if num_batches < 1:
         raise ValueError("need at least one batch")
+    if partitioner not in PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r}; available: "
+            f"{', '.join(PARTITIONERS)}"
+        )
+    if layout not in LAYOUTS:
+        raise ValueError(
+            f"unknown layout {layout!r}; available: {', '.join(LAYOUTS)}"
+        )
     if batch_size < num_devices:
         raise ValueError(
             f"batch_size ({batch_size}) must be >= num_devices "
@@ -314,6 +415,11 @@ def scaleout_outcome(
                 f"prepared image page size {prepared.image.spec.page_size} "
                 f"differs from SSD page size {config.flash.page_size}"
             )
+        if prepared.layout != layout:
+            raise ValueError(
+                f"prepared workload uses layout {prepared.layout!r}, "
+                f"array requested {layout!r}"
+            )
     else:
         spec = workload_by_name(workload) if isinstance(workload, str) else workload
         # mirror run_platform's scaling rule
@@ -332,6 +438,8 @@ def scaleout_outcome(
         cross_partition_fraction=cross_partition_fraction,
         link=link,
         seed=seed,
+        partitioner=partitioner,
+        layout=layout,
     )
     if cache is not None:
         document = cache.get(key)
@@ -347,8 +455,33 @@ def scaleout_outcome(
             "run without --from-cache first"
         )
 
+    builds_before = _builder.BUILD_COUNTER.count
+    image_hits_before = _imagecache.COUNTERS.hits
+
     if prepared is not None:
         adopt_prepared(prepared)
+
+    owner: Optional[np.ndarray] = None
+    routed: Optional[List[Tuple[Tuple[int, ...], ...]]] = None
+    if partitioner != DEFAULT_PARTITIONER:
+        # Locality-aware ownership needs the graph up front (and the
+        # routed target draws need the ownership); the prepared image is
+        # adopted into the grid memo so shards never rebuild it.
+        if prepared is None:
+            icache = _resolve_image_cache(image_cache, cache)
+            prepared = _prepared_for(
+                spec,
+                config.flash.page_size,
+                str(icache.root) if icache is not None else None,
+                layout,
+            )
+        owner = partition_nodes(
+            spec.num_nodes, num_devices, seed,
+            partitioner=partitioner, graph=prepared.graph,
+        )
+        routed = _route_targets(
+            owner, spec.num_nodes, batch_size, num_batches, num_devices, seed
+        )
 
     sizes = shard_batch_sizes(batch_size, num_devices)
     cells = [
@@ -363,6 +496,8 @@ def scaleout_outcome(
             seed=derive_shard_seed(seed, s),
             scaled_nodes=spec.num_nodes,
             sample_trace=True,
+            layout=layout,
+            targets=routed[s] if routed is not None else None,
         )
         for s in range(num_devices)
     ]
@@ -371,9 +506,10 @@ def scaleout_outcome(
     )
     devices: List[RunResult] = grid.results
 
-    # Measured exchange: every sampled position whose node hashes to a
+    # Measured exchange: every sampled position whose node lives on a
     # foreign shard sends one feature vector owner -> requesting device.
-    owner = partition_nodes(spec.num_nodes, num_devices, seed)
+    if owner is None:
+        owner = partition_nodes(spec.num_nodes, num_devices, seed)
     link_vectors = [[0] * num_devices for _ in range(num_devices)]
     remote_samples = [0] * num_devices
     candidates = 0
@@ -424,6 +560,9 @@ def scaleout_outcome(
         batch_seconds=batch_seconds,
         total_targets=batch_size * num_batches,
         total_seconds=batch_seconds * num_batches,
+        partitioner=(
+            partitioner if partitioner != DEFAULT_PARTITIONER else None
+        ),
     )
     # Fresh results take the same payload round trip a cache hit does, so
     # the two are interchangeable bit for bit.
@@ -449,8 +588,10 @@ def scaleout_outcome(
         from_cache=False,
         shards_executed=grid.executed,
         shard_cache_hits=grid.cache_hits,
-        images_built=grid.images_built,
-        image_hits=grid.image_hits,
+        # function-wide deltas: a routed array prepares its image before
+        # the grid runs, and that build/hit must count too
+        images_built=_builder.BUILD_COUNTER.count - builds_before,
+        image_hits=_imagecache.COUNTERS.hits - image_hits_before,
     )
 
 
@@ -471,12 +612,14 @@ def run_scaleout(
     cache=None,
     image_cache=None,
     chunk: Optional[int] = None,
+    partitioner: str = DEFAULT_PARTITIONER,
+    layout: str = DEFAULT_LAYOUT,
 ) -> ScaleOutResult:
     """Simulate an N-device BeaconGNN array on one workload.
 
     Thin wrapper over :func:`scaleout_outcome` returning just the
-    :class:`ScaleOutResult`; see there for the sharding, exchange, and
-    caching semantics.
+    :class:`ScaleOutResult`; see there for the sharding, partitioner,
+    layout, exchange, and caching semantics.
     """
     return scaleout_outcome(
         num_devices,
@@ -494,4 +637,6 @@ def run_scaleout(
         cache=cache,
         image_cache=image_cache,
         chunk=chunk,
+        partitioner=partitioner,
+        layout=layout,
     ).result

@@ -1,10 +1,11 @@
 """Table III workload registry and specification types."""
 
-from .registry import WORKLOADS, workload_by_name, workload_names
+from .registry import EXTRA_WORKLOADS, WORKLOADS, workload_by_name, workload_names
 from .specs import FEATURE_ELEM_BYTES, NODE_ID_BYTES, WorkloadSpec
 
 __all__ = [
     "WORKLOADS",
+    "EXTRA_WORKLOADS",
     "workload_by_name",
     "workload_names",
     "WorkloadSpec",

@@ -18,7 +18,7 @@ from dataclasses import dataclass, replace
 from typing import Tuple
 
 from ..gnn.features import ProceduralFeatureTable
-from ..gnn.generators import power_law_graph, uniform_random_graph
+from ..gnn.generators import community_graph, power_law_graph, uniform_random_graph
 from ..gnn.graph import Graph
 
 __all__ = ["WorkloadSpec", "NODE_ID_BYTES", "FEATURE_ELEM_BYTES"]
@@ -35,7 +35,7 @@ class WorkloadSpec:
     num_nodes: int
     avg_degree: float
     feature_dim: int
-    degree_family: str = "powerlaw"  # "powerlaw" | "uniform"
+    degree_family: str = "powerlaw"  # "powerlaw" | "uniform" | "community"
     degree_exponent: float = 2.1
     seed: int = 1
 
@@ -46,7 +46,7 @@ class WorkloadSpec:
             raise ValueError("avg_degree must be >= 1")
         if self.feature_dim <= 0:
             raise ValueError("feature_dim must be positive")
-        if self.degree_family not in ("powerlaw", "uniform"):
+        if self.degree_family not in ("powerlaw", "uniform", "community"):
             raise ValueError(f"unknown degree family {self.degree_family!r}")
 
     # -- sizes ---------------------------------------------------------------
@@ -77,6 +77,13 @@ class WorkloadSpec:
     def build_graph(self) -> Graph:
         if self.degree_family == "uniform":
             return uniform_random_graph(self.num_nodes, self.avg_degree, self.seed)
+        if self.degree_family == "community":
+            return community_graph(
+                self.num_nodes,
+                self.avg_degree,
+                exponent=self.degree_exponent,
+                seed=self.seed,
+            )
         return power_law_graph(
             self.num_nodes,
             self.avg_degree,

@@ -115,7 +115,15 @@ def test_partition_covers_every_node_exactly_once(devices):
 
 
 def test_partition_depends_on_seed():
-    assert partition_nodes(256, 4, seed=0) != partition_nodes(256, 4, seed=1)
+    assert not np.array_equal(
+        partition_nodes(256, 4, seed=0), partition_nodes(256, 4, seed=1)
+    )
+
+
+def test_partition_is_packed_int32():
+    owner = partition_nodes(256, 4, seed=0)
+    assert isinstance(owner, np.ndarray)
+    assert owner.dtype == np.int32
 
 
 @pytest.mark.parametrize(
