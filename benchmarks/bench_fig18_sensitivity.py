@@ -1,4 +1,4 @@
-"""Figure 18 — sensitivity sweeps on amazon (all BG-X platforms).
+"""Figure 18 — sensitivity sweeps on amazon (BG-X platforms plus GIDS).
 
 Six knobs, each swept with everything else at defaults:
 mini-batch size, channel bandwidth, controller core count, channel count,
@@ -10,9 +10,11 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import format_table
+from repro.platforms import ordered_platforms
 from repro.ssd import ull_ssd
 
-PLATFORMS = ["bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
+# gids rides along as the GPU-direct reference point in every sweep
+PLATFORMS = ordered_platforms(["gids", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"])
 WORKLOAD = "amazon"
 
 

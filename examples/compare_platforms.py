@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare all eight platforms on one workload (a miniature Figure 14).
+"""Compare all nine platforms on one workload (a miniature Figure 14).
 
 Run:  python examples/compare_platforms.py [workload] [scaled_nodes]
       e.g. python examples/compare_platforms.py reddit 2048

@@ -32,6 +32,11 @@ class EnergyCoefficients:
     # DRAM touches, and the host CPU cycles spent driving the stack
     pcie_pj_per_byte: float = 950.0
     host_cpu_active_watts: float = 2.0  # active share per busy host thread
+    gpu_doorbell_pj: float = 150.0  # one GPU-thread MMIO doorbell write
+
+    # GPU-thread sampling (GIDS/BaM): amortized per-neighbor energy of
+    # the sampling kernel's active SMs, charged to the accelerator slice
+    gpu_sample_pj_per_neighbor: float = 30.0
 
     # accelerators (CACTI/32nm-scaled units, folded into ComputePlan)
     # -- accel compute energy is computed by repro.accel and metered.

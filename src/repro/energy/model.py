@@ -78,6 +78,7 @@ def attribute_energy(
     external = (
         get("pcie_bytes") * c.pcie_pj_per_byte * 1e-12
         + get("host_busy_s") * c.host_cpu_active_watts
+        + get("gpu_requests") * c.gpu_doorbell_pj * 1e-12
     )
     controller = (
         firmware_busy_s * c.core_active_watts
@@ -86,7 +87,10 @@ def attribute_energy(
         * 1e-12
         + total_seconds * c.ssd_static_watts
     )
-    accelerator = get("accel_energy_j")
+    accelerator = (
+        get("accel_energy_j")
+        + get("gpu_sample_neighbors") * c.gpu_sample_pj_per_neighbor * 1e-12
+    )
 
     report = EnergyReport(
         categories={

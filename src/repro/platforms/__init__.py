@@ -1,11 +1,18 @@
-"""Evaluated platforms (CC, GLIST, SmartSage, BG-1 ... BG-2)."""
+"""Evaluated platforms (CC, GLIST, SmartSage, GIDS, BG-1 ... BG-2)."""
 
 from .compute import ComputeEngine
 from .datapath import DataPrepEngine, PrepCommand
 from .features import ComputeSite, PlatformFeatures, SamplingSite
+from .gids import coalesce_warps, coalesced_pages
 from .pipeline import PipelineRunner
 from .query import QueryLatencyResult, measure_query_latency
-from .registry import BG_ORDER, PLATFORMS, platform_by_name, platform_names
+from .registry import (
+    BG_ORDER,
+    PLATFORMS,
+    ordered_platforms,
+    platform_by_name,
+    platform_names,
+)
 from .result import BatchTiming, RunResult
 from .runner import (
     DEFAULT_SCALED_NODES,
@@ -29,6 +36,9 @@ __all__ = [
     "BG_ORDER",
     "platform_by_name",
     "platform_names",
+    "ordered_platforms",
+    "coalesce_warps",
+    "coalesced_pages",
     "PlatformFeatures",
     "SamplingSite",
     "ComputeSite",

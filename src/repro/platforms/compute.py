@@ -80,8 +80,10 @@ class ComputeEngine:
             # activations stream SRAM<->DRAM over the shared DRAM port
             yield self.device.dram.transfer(plan.dram_traffic_bytes)
             self.meters.add("dram_bytes", plan.dram_traffic_bytes)
-        else:
-            # host -> discrete accelerator feature shipment over PCIe
+        elif not self.platform.features_resident_on_accelerator:
+            # host -> discrete accelerator feature shipment over PCIe;
+            # GPU-direct platforms skip this — preparation already DMA'd
+            # every page into the accelerator's own memory
             nbytes = self.batch_feature_bytes(batch_size)
             yield self.device.pcie.transfer(nbytes)
             self.meters.add("pcie_bytes", nbytes)

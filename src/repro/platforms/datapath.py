@@ -1,26 +1,31 @@
-"""Data-preparation datapath: one engine, eight platform behaviours.
+"""Data-preparation datapath: one engine, nine platform behaviours.
 
 Every platform prepares a mini-batch by executing the *same functional
 command DAG* (rooted at the targets' primary sections, expanded by the
 deterministic sampler), but pays different costs along four axes:
 
-* where sampling runs (host CPU / firmware core / on-die sampler);
+* where sampling runs (host CPU / firmware core / on-die sampler /
+  GPU threads);
 * what crosses the flash channel (whole pages vs sampled results);
 * how the control path is processed (host NVMe round trips per hop vs
-  firmware streaming vs hardware channel routers);
+  firmware streaming vs hardware channel routers vs GPU-rung doorbells);
 * where features go (PCIe to a discrete accelerator vs SSD DRAM).
 
 Command lifecycle (timestamps feed Figure 17):
 
     issue (control path) -> die queue -> page read [-> on-die sampling]
       -> channel transfer -> completion (router parse / firmware / DRAM /
-         PCIe / host sampling) -> children
+         PCIe / host or GPU sampling) -> children
 
 DirectGraph platforms *stream*: children issue the moment their parent's
 result is parsed, regardless of hop. Non-DirectGraph platforms run
 hop-by-hop: all commands of a hop complete, the sampled ids travel to the
 host, the host translates node indices to LPAs, and the next hop's
-commands come back as NVMe requests — the Figure 5 barrier.
+commands come back as NVMe requests — the Figure 5 barrier. GPU-direct
+platforms (GIDS/BaM) also stream — the threads that parse a page issue
+its children's doorbells themselves — but every read stays a
+page-granular NVMe request, and same-page requests within a warp
+coalesce into one (:mod:`repro.platforms.gids`).
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from ..ssd.config import SSDConfig
 from ..ssd.device import SsdDevice
 from ..ssd.flash import DieExecution, FlashJob
 from .features import PlatformFeatures, SamplingSite
+from .gids import coalesce_warps
 from .result import pack_trace
 
 __all__ = ["PrepCommand", "DataPrepEngine"]
@@ -246,6 +252,15 @@ class DataPrepEngine:
         if ctx.outstanding == 0 and ctx.done is not None and not ctx.done.triggered:
             ctx.done.succeed()
 
+    def _streaming_issuer(self) -> str:
+        """Who issues follow-up commands when hops stream (no barrier)."""
+        platform = self.platform
+        if platform.gpu_direct:
+            return "gpu"
+        if platform.die_sampling and platform.hw_router:
+            return "router"
+        return "firmware"
+
     def _run_cache_hit(self, cmd: PrepCommand, timeline: HopTimeline, ctx: _BatchCtx):
         """Serve one command from the host-side page cache.
 
@@ -271,13 +286,7 @@ class DataPrepEngine:
             result = self.sampler.execute(page_bytes, sampling, section)
         children = self._children_of(cmd, result)
         self._finish(cmd, timeline)
-        platform = self.platform
-        issuer = (
-            "router"
-            if (platform.die_sampling and platform.hw_router)
-            else "firmware"
-        )
-        self._dispatch_children(children, issuer, ctx)
+        self._dispatch_children(children, self._streaming_issuer(), ctx)
 
     def _run_device_command(
         self, cmd: PrepCommand, issued_by: str, timeline: HopTimeline, ctx: _BatchCtx
@@ -309,6 +318,16 @@ class DataPrepEngine:
         elif issued_by == "router":
             self.meters.add("router_commands")
             yield sim.timeout(self.ssd_config.hw_router.crossbar_s)
+        elif issued_by == "gpu":
+            # a GPU thread builds the NVMe command in device-mapped queues
+            # and rings the doorbell with one posted MMIO write — no host
+            # software stack, no translation round trip. The SSD still
+            # processes a stock NVMe request: poller + FTL + scheduler.
+            self.meters.add("gpu_requests")
+            yield sim.timeout(self.ssd_config.gpu.doorbell_s)
+            yield from device.firmware_work(
+                fw.io_poller_s + fw.ftl_lookup_s + fw.schedule_s
+            )
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown issuer {issued_by!r}")
 
@@ -368,10 +387,12 @@ class DataPrepEngine:
                 pcie_bytes = payload_bytes
                 if (
                     cmd.payload_kind == "feature"
-                    and platform.sampling_site != SamplingSite.HOST
+                    and platform.sampling_site
+                    not in (SamplingSite.HOST, SamplingSite.GPU)
                 ):
                     # ISC designs (SmartSage) gather vectors in-SSD and ship
-                    # packed features, not raw feature-table pages
+                    # packed features, not raw feature-table pages. Host
+                    # sampling and GPU-direct reads pull the whole page.
                     pcie_bytes = RESULT_HEADER_BYTES + self._feature_bytes
                 yield device.pcie.transfer(pcie_bytes)
                 self.meters.add("pcie_bytes", pcie_bytes)
@@ -384,8 +405,23 @@ class DataPrepEngine:
                 yield from device.host_work(cost)
                 self.meters.add("host_busy_s", cost)
                 self.meters.add("host_sample_neighbors", result.neighbors_sampled)
+            if (
+                platform.gpu_sampling
+                and result is not None
+                and result.neighbors_sampled
+            ):
+                # the page landed in GPU memory; a grid of GPU threads
+                # samples it — no serialized host resource to contend on
+                yield from self._gpu_sample(result.neighbors_sampled)
             self._finish(cmd, timeline)
-            self._dispatch_children(children, "firmware", ctx)
+            self._dispatch_children(children, self._streaming_issuer(), ctx)
+
+    def _gpu_sample(self, neighbors: int):
+        """Charge GPU-thread sampling of one landed page's neighbors."""
+        yield self.sim.timeout(
+            self.ssd_config.gpu.sample_per_neighbor_s * neighbors
+        )
+        self.meters.add("gpu_sample_neighbors", neighbors)
 
     def _finish(self, cmd: PrepCommand, timeline: HopTimeline) -> None:
         cmd.record.completed = self.sim.now
@@ -404,9 +440,86 @@ class DataPrepEngine:
                 else:
                     ctx.collected.append(child)
         else:
-            for child in children:
+            self._spawn_streaming(children, issuer, ctx)
+
+    def _spawn_streaming(
+        self, commands: List[PrepCommand], issuer: str, ctx: _BatchCtx
+    ) -> None:
+        """Launch streamed commands, coalescing GPU warps when enabled.
+
+        GPU-direct platforms vote within each ``warp_size`` window of the
+        request stream: same-page requests merge into one NVMe read — the
+        leader rings the doorbell, followers consume the page when it
+        lands (:mod:`repro.platforms.gids`). Every other platform (and a
+        disabled coalescer) issues one command per request, unchanged.
+        """
+        gpu = self.ssd_config.gpu
+        if not (
+            self.platform.gpu_direct
+            and gpu.coalesce
+            and gpu.warp_size > 1
+            and len(commands) > 1
+        ):
+            for cmd in commands:
                 ctx.outstanding += 1
-                self.sim.process(self._run_command(child, issuer, ctx))
+                self.sim.process(self._run_command(cmd, issuer, ctx))
+            return
+        warps = coalesce_warps(
+            commands, gpu.warp_size, key=lambda c: c.page_index
+        )
+        for group in warps:
+            leader, followers = group[0], group[1:]
+            ctx.outstanding += 1
+            if not followers:
+                self.sim.process(self._run_command(leader, issuer, ctx))
+                continue
+            ctx.outstanding += len(followers)
+            self.meters.add("gpu_coalesced_requests", len(followers))
+            landed = self.sim.event()
+            self.sim.process(
+                self._run_warp_leader(leader, issuer, ctx, landed)
+            )
+            for follower in followers:
+                self.sim.process(
+                    self._run_warp_follower(follower, ctx, landed)
+                )
+
+    def _run_warp_leader(
+        self, cmd: PrepCommand, issuer: str, ctx: _BatchCtx, landed
+    ):
+        """The coalescing winner: a normal request that signals its warp."""
+        yield from self._run_command(cmd, issuer, ctx)
+        if not landed.triggered:
+            landed.succeed()
+
+    def _run_warp_follower(self, cmd: PrepCommand, ctx: _BatchCtx, landed):
+        """A coalesced-away request: rides the leader's page, issues no I/O.
+
+        The follower's thread still samples its own section of the page
+        once it lands (sampling is functional, keyed only by page bytes),
+        so the child DAG — and the sample trace — is identical with
+        coalescing on or off.
+        """
+        sim = self.sim
+        cmd.record.issued = sim.now
+        timeline = self._timeline
+        timeline.note_start(cmd.step, sim.now)
+        yield landed
+        cmd.record.flash_start = sim.now
+        cmd.record.flash_end = cmd.record.transfer_end = sim.now
+        result: Optional[SampleResult] = None
+        if cmd.sampling is not None:
+            result = self.sampler.execute(
+                self.image.page_bytes(cmd.page_index), cmd.sampling
+            )
+            if result.neighbors_sampled:
+                yield from self._gpu_sample(result.neighbors_sampled)
+        children = self._children_of(cmd, result)
+        self._finish(cmd, timeline)
+        self._dispatch_children(children, "gpu", ctx)
+        ctx.outstanding -= 1
+        if ctx.outstanding == 0 and ctx.done is not None and not ctx.done.triggered:
+            ctx.done.succeed()
 
     # --------------------------------------------------------------- children
 
@@ -544,6 +657,16 @@ class DataPrepEngine:
     def _minibatch_kickoff(self, targets: List[int]):
         """Host sends the mini-batch job (targets + addresses) to the SSD."""
         host = self.ssd_config.host
+        if self.platform.gpu_direct:
+            # the host only launches the sampling kernel: target ids move
+            # to the GPU once, and every NVMe request after that is rung
+            # from GPU threads — no per-batch firmware kickoff
+            launch = self.ssd_config.gpu.kernel_launch_s
+            yield from self.device.host_work(launch)
+            self.meters.add("host_busy_s", launch)
+            yield self.device.pcie.transfer(len(targets) * NODE_ID_BYTES)
+            self.meters.add("pcie_bytes", len(targets) * NODE_ID_BYTES)
+            return
         yield from self.device.host_work(host.nvme_stack_s)
         self.meters.add("host_busy_s", host.nvme_stack_s)
         yield self.device.pcie.transfer(len(targets) * 2 * NODE_ID_BYTES)
@@ -551,23 +674,18 @@ class DataPrepEngine:
         yield from self.device.firmware_work(self.ssd_config.firmware.io_poller_s)
 
     def _prepare_streaming(self, targets: List[int]):
-        """DirectGraph mode: out-of-order, no host in the loop."""
+        """Streaming mode (DirectGraph or GPU-direct): out-of-order hops,
+        no host translation round between them."""
         ctx = _BatchCtx(done=self.sim.event())
         yield from self._minibatch_kickoff(targets)
-        issuer = "firmware"  # roots are seeded by the GNN engine
+        issuer = self._streaming_issuer()  # who seeds the root commands
         roots = [self._make_root(t) for t in dict.fromkeys(targets)]
         if not roots:
             # ctx.done only fires when an outstanding command drains;
             # an empty batch (a routed device owning none of a batch's
             # targets) must not wait on it
             return
-        for root in roots:
-            ctx.outstanding += 1
-            self.sim.process(
-                self._run_command(
-                    root, "router" if self.platform.hw_router else issuer, ctx
-                )
-            )
+        self._spawn_streaming(roots, issuer, ctx)
         yield ctx.done
 
     def _prepare_barrier(self, targets: List[int]):

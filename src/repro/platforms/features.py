@@ -12,6 +12,12 @@ Every platform is one combination of four design axes (Section VII-A):
 * **compute site / feature path** — GNN computation on a discrete
   PCIe accelerator (features must cross PCIe) or the SSD-internal spatial
   accelerator (features stay inside).
+
+A fifth, orthogonal access model covers GPU-initiated direct storage
+(GIDS/BaM): ``gpu_direct`` platforms sample on the GPU and ring the NVMe
+doorbells straight from GPU threads — no host translation round, so hops
+stream like DirectGraph does, but every transfer stays page-granular and
+crosses PCIe.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ class SamplingSite:
     HOST = "host"
     FIRMWARE = "firmware"
     DIE = "die"
+    GPU = "gpu"
 
 
 class ComputeSite:
@@ -44,12 +51,14 @@ class PlatformFeatures:
     compute_site: str
     features_cross_pcie: bool  # does the feature data leave the SSD?
     structure_cross_pcie: bool  # do neighbor-list pages leave the SSD?
+    gpu_direct: bool = False  # GPU threads issue NVMe requests directly
 
     def __post_init__(self) -> None:
         if self.sampling_site not in (
             SamplingSite.HOST,
             SamplingSite.FIRMWARE,
             SamplingSite.DIE,
+            SamplingSite.GPU,
         ):
             raise ValueError(f"bad sampling site {self.sampling_site!r}")
         if self.compute_site not in (ComputeSite.DISCRETE, ComputeSite.IN_SSD):
@@ -63,18 +72,47 @@ class PlatformFeatures:
             raise ValueError("hardware routing requires die-level samplers")
         if self.sampling_site == SamplingSite.HOST and self.direct_graph:
             raise ValueError("DirectGraph implies in-SSD sampling")
+        if self.gpu_direct != (self.sampling_site == SamplingSite.GPU):
+            raise ValueError(
+                "gpu_direct and GPU-site sampling imply each other (the "
+                "threads that sample are the threads that ring doorbells)"
+            )
+        if self.gpu_direct:
+            if self.direct_graph or self.hw_router:
+                raise ValueError(
+                    "gpu_direct models a stock NVMe SSD: no DirectGraph "
+                    "addressing, no channel routers"
+                )
+            if self.compute_site != ComputeSite.DISCRETE:
+                raise ValueError("gpu_direct computes on the GPU (discrete)")
+            if not (self.features_cross_pcie and self.structure_cross_pcie):
+                raise ValueError(
+                    "gpu_direct pulls every page into GPU memory, so both "
+                    "feature and structure pages cross PCIe"
+                )
 
     @property
     def hop_barrier(self) -> bool:
-        """Without DirectGraph, every hop ends in a host round trip."""
-        return not self.direct_graph
+        """Without DirectGraph, every hop ends in a host round trip —
+        unless GPU threads issue the next hop's reads themselves."""
+        return not (self.direct_graph or self.gpu_direct)
 
     @property
     def die_sampling(self) -> bool:
         return self.sampling_site == SamplingSite.DIE
 
     @property
+    def gpu_sampling(self) -> bool:
+        return self.sampling_site == SamplingSite.GPU
+
+    @property
     def feature_in_primary(self) -> bool:
         """DirectGraph co-locates the feature vector with the neighbor
         list, so primary-section reads return features for free."""
         return self.direct_graph
+
+    @property
+    def features_resident_on_accelerator(self) -> bool:
+        """GPU-direct prep DMAs pages straight into accelerator memory,
+        so compute needs no second feature shipment over PCIe."""
+        return self.gpu_direct

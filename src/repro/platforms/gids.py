@@ -1,0 +1,65 @@
+"""Warp-level request coalescing for GPU-initiated direct storage.
+
+GIDS/BaM issue NVMe reads from GPU threads. Threads of one warp execute
+in lockstep, so before ringing doorbells the warp votes on its pending
+page addresses and merges duplicates: one thread (the *leader*) issues
+the read, the rest (*followers*) consume the same page out of GPU memory
+when it lands. Requests from different warps never merge — the window is
+the warp, not the whole stream.
+
+The grouping here is pure bookkeeping over an ordered request stream; it
+never touches simulated time, so the datapath can test it exhaustively
+(and property-test it) without a simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["coalesce_warps", "coalesced_pages"]
+
+T = TypeVar("T")
+
+
+def coalesce_warps(
+    requests: Sequence[T],
+    warp_size: int,
+    key: Optional[Callable[[T], int]] = None,
+) -> List[List[T]]:
+    """Group a request stream into per-page warp coalescing groups.
+
+    ``requests`` are consumed in order, ``warp_size`` at a time (one
+    warp's worth of lockstep threads). Within a window, requests whose
+    ``key`` (default: the request itself) matches merge into one group —
+    the first occurrence is the leader, the rest are followers riding its
+    read. Windows keep first-occurrence order, and the concatenation of
+    all groups is a permutation of the input window by window, so
+    disabling coalescing (``warp_size <= 1``) reproduces the raw request
+    sequence exactly: one singleton group per request, in order.
+    """
+    if warp_size < 1:
+        raise ValueError(f"warp_size must be >= 1: {warp_size}")
+    if key is None:
+        key = lambda request: request  # noqa: E731
+    if warp_size == 1:
+        return [[request] for request in requests]
+    groups: List[List[T]] = []
+    for start in range(0, len(requests), warp_size):
+        window = requests[start : start + warp_size]
+        by_page: dict = {}
+        for request in window:
+            page = key(request)
+            group = by_page.get(page)
+            if group is None:
+                group = []
+                by_page[page] = group
+                groups.append(group)
+            group.append(request)
+    return groups
+
+
+def coalesced_pages(
+    pages: Sequence[int], warp_size: int
+) -> List[int]:
+    """The pages actually read after coalescing: one per group, in order."""
+    return [group[0] for group in coalesce_warps(pages, warp_size)]

@@ -1,4 +1,4 @@
-"""The eight evaluated systems (Section VII-A + prior-work baselines).
+"""The nine evaluated systems (Section VII-A + prior-work baselines).
 
 ===========  ========  ===========  ======  ========  ==================
 platform     sampling  DirectGraph  router  compute   PCIe traffic
@@ -6,21 +6,34 @@ platform     sampling  DirectGraph  router  compute   PCIe traffic
 cc           host      no           no      discrete  everything
 glist        host      no           no      in-SSD    structure pages
 smartsage    firmware  no           no      discrete  feature pages
+gids         gpu       no           no      discrete  whole pages
 bg1          firmware  no           no      in-SSD    control only
 bg_dg        firmware  yes          no      in-SSD    control only
 bg_sp        die       no           no      in-SSD    control only
 bg_dgsp      die       yes          no      in-SSD    control only
 bg2          die       yes          yes     in-SSD    control only
 ===========  ========  ===========  ======  ========  ==================
+
+``gids`` (GPU-initiated direct storage, the GIDS/BaM design point) is the
+one foreign architecture: sampling and compute live on the GPU, which
+rings the SSD's NVMe doorbells straight from its threads — hops stream
+with no host translation round, but every transfer is a page crossing
+PCIe.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 from .features import ComputeSite, PlatformFeatures, SamplingSite
 
-__all__ = ["PLATFORMS", "platform_by_name", "platform_names", "BG_ORDER"]
+__all__ = [
+    "PLATFORMS",
+    "platform_by_name",
+    "platform_names",
+    "ordered_platforms",
+    "BG_ORDER",
+]
 
 PLATFORMS: Dict[str, PlatformFeatures] = {
     p.name: p
@@ -57,6 +70,18 @@ PLATFORMS: Dict[str, PlatformFeatures] = {
             compute_site=ComputeSite.DISCRETE,
             features_cross_pcie=True,
             structure_cross_pcie=False,
+        ),
+        PlatformFeatures(
+            name="gids",
+            description="GIDS/BaM: GPU threads sample and issue NVMe reads "
+            "directly; page-granular transfers, no host translation",
+            sampling_site=SamplingSite.GPU,
+            direct_graph=False,
+            hw_router=False,
+            compute_site=ComputeSite.DISCRETE,
+            features_cross_pcie=True,
+            structure_cross_pcie=True,
+            gpu_direct=True,
         ),
         PlatformFeatures(
             name="bg1",
@@ -118,15 +143,35 @@ PLATFORMS: Dict[str, PlatformFeatures] = {
 # The progression plotted across the evaluation figures.
 BG_ORDER: List[str] = ["cc", "bg1", "bg_dg", "bg_sp", "bg_dgsp", "bg2"]
 
+_ALIASES = {
+    "bg_2": "bg2",
+    "bg_1": "bg1",
+    "beacongnn": "bg2",
+    "bam": "gids",  # GIDS builds on NVIDIA's BaM GPU-initiated storage
+}
+
 
 def platform_by_name(name: str) -> PlatformFeatures:
-    key = name.lower().replace("-", "_")
-    aliases = {"bg_2": "bg2", "bg_1": "bg1", "beacongnn": "bg2"}
-    key = aliases.get(key, key)
+    key = str(name).lower().replace("-", "_")
+    key = _ALIASES.get(key, key)
     if key not in PLATFORMS:
-        raise KeyError(f"unknown platform {name!r}; available: {sorted(PLATFORMS)}")
+        raise KeyError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)} "
+            f"(aliases: {sorted(_ALIASES)})"
+        )
     return PLATFORMS[key]
 
 
 def platform_names() -> List[str]:
     return list(PLATFORMS)
+
+
+def ordered_platforms(names: Iterable[str]) -> List[str]:
+    """Resolve an explicit platform ordering for a figure or table.
+
+    Benchmark tables list platforms explicitly (the paper's column
+    order); this validates every entry against the registry — an unknown
+    or misspelled name raises instead of silently dropping a column —
+    and normalizes aliases to canonical registry names.
+    """
+    return [platform_by_name(name).name for name in names]

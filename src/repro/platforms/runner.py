@@ -5,7 +5,7 @@ image, wires up the device and engines, simulates N pipelined
 mini-batches, and returns a fully-instrumented :class:`RunResult`.
 
 Building the image is the expensive part, so :class:`PreparedWorkload`
-lets benchmark harnesses build once and run all eight platforms on the
+lets benchmark harnesses build once and run all nine platforms on the
 same bytes — which is also what guarantees every platform samples
 identical subgraphs.
 """

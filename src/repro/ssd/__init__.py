@@ -5,6 +5,7 @@ from .config import (
     DramConfig,
     FirmwareConfig,
     FlashConfig,
+    GpuDirectConfig,
     HostConfig,
     HwRouterConfig,
     PcieConfig,
@@ -33,6 +34,7 @@ __all__ = [
     "DramConfig",
     "PcieConfig",
     "HostConfig",
+    "GpuDirectConfig",
     "SSDConfig",
     "ull_ssd",
     "traditional_ssd",

@@ -25,6 +25,7 @@ __all__ = [
     "DramConfig",
     "PcieConfig",
     "HostConfig",
+    "GpuDirectConfig",
     "SSDConfig",
     "ull_ssd",
     "traditional_ssd",
@@ -145,6 +146,30 @@ class HostConfig:
 
 
 @dataclass(frozen=True)
+class GpuDirectConfig:
+    """GPU-initiated direct storage timing (the GIDS/BaM access model).
+
+    GPU threads build NVMe commands themselves and ring the device
+    doorbell with one posted MMIO write over PCIe — no host software
+    stack, no per-hop translation round trip. Sampling runs as a massive
+    grid of GPU threads, so the per-neighbor cost is tiny but every page
+    travels PCIe at page granularity.
+    """
+
+    warp_size: int = 32  # threads whose requests coalesce per window
+    coalesce: bool = True  # merge same-page requests within a warp
+    doorbell_s: float = 0.2e-6  # posted MMIO doorbell write latency
+    sample_per_neighbor_s: float = 5e-9  # GPU-thread sampling throughput
+    kernel_launch_s: float = 5e-6  # host launches the sampling kernel
+
+    def __post_init__(self) -> None:
+        if self.warp_size < 1:
+            raise ValueError("warp_size must be >= 1")
+        if self.doorbell_s < 0 or self.sample_per_neighbor_s < 0:
+            raise ValueError("latencies must be non-negative")
+
+
+@dataclass(frozen=True)
 class SSDConfig:
     """Complete system configuration."""
 
@@ -155,12 +180,16 @@ class SSDConfig:
     dram: DramConfig = field(default_factory=DramConfig)
     pcie: PcieConfig = field(default_factory=PcieConfig)
     host: HostConfig = field(default_factory=HostConfig)
+    gpu: GpuDirectConfig = field(default_factory=GpuDirectConfig)
 
     def with_flash(self, **kwargs) -> "SSDConfig":
         return replace(self, flash=replace(self.flash, **kwargs))
 
     def with_firmware(self, **kwargs) -> "SSDConfig":
         return replace(self, firmware=replace(self.firmware, **kwargs))
+
+    def with_gpu(self, **kwargs) -> "SSDConfig":
+        return replace(self, gpu=replace(self.gpu, **kwargs))
 
 
 def ull_ssd() -> SSDConfig:

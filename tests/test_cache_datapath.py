@@ -96,21 +96,9 @@ def test_cached_run_is_repeatable(prepared):
     assert first == second
 
 
-@pytest.mark.parametrize("platform", ["bg2", "cc"])
-def test_cache_never_changes_what_gets_sampled(platform, prepared):
-    """The cache is a timing optimization: the sampled subgraph (and the
-    page contents behind every decision) is identical with or without it."""
-    kwargs = dict(GOLDEN_PARAMS, sample_trace=True)
-    uncached = run_platform(platform, prepared, **kwargs)
-    cached = run_platform(
-        platform,
-        prepared,
-        **kwargs,
-        page_cache=CacheConfig(capacity_mb=CACHE_MB),
-    )
-    assert len(uncached.sample_trace) == len(cached.sample_trace)
-    for a, b in zip(uncached.sample_trace, cached.sample_trace):
-        assert np.array_equal(a, b)
+# test_cache_never_changes_what_gets_sampled moved to
+# tests/test_platform_conformance.py, parametrized over every registered
+# platform instead of a hard-coded ["bg2", "cc"] pair.
 
 
 def test_warm_cache_shortens_simulated_latency(prepared):

@@ -199,12 +199,12 @@ class TestOrchestrationCommands:
         argv = ["compare", "ogbn", *self.BASE, "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
         cold = capsys.readouterr().out
-        assert "[8 simulated, 0 from cache]" in cold
-        # one distinct workload image behind the 8 cells
+        assert "[9 simulated, 0 from cache]" in cold
+        # one distinct workload image behind the 9 cells
         assert "[images: 1 built, 0 reused]" in cold
         assert main(argv + ["--jobs", "2"]) == 0
         warm = capsys.readouterr().out
-        assert "[0 simulated, 8 from cache]" in warm
+        assert "[0 simulated, 9 from cache]" in warm
         # identical tables, modulo the cache summary line
         assert cold.split("[", 1)[0] == warm.split("[", 1)[0]
 

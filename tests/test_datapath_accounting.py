@@ -40,6 +40,11 @@ class TestSamplingSiteCounters:
         for name in ("cc", "glist", "smartsage", "bg1", "bg_dg"):
             assert runs[name].meters.get("die_sample_neighbors") == 0, name
 
+    def test_gpu_sampling_only_on_gpu_platforms(self, runs):
+        assert runs["gids"].meters.get("gpu_sample_neighbors") > 0
+        for name in ("cc", "glist", "smartsage", "bg1", "bg2"):
+            assert runs[name].meters.get("gpu_sample_neighbors") == 0, name
+
     def test_every_platform_samples_the_same_neighbor_count(self, runs):
         """Same functional work regardless of where it executes."""
         totals = {
@@ -47,6 +52,7 @@ class TestSamplingSiteCounters:
                 run.meters.get("host_sample_neighbors")
                 + run.meters.get("fw_sample_neighbors")
                 + run.meters.get("die_sample_neighbors")
+                + run.meters.get("gpu_sample_neighbors")
             )
             for name, run in runs.items()
         }
@@ -109,6 +115,24 @@ class TestRouterAndNvme:
         assert runs["cc"].meters.get("nvme_requests") > BATCH * 10
         assert runs["bg1"].meters.get("nvme_requests") < 10
         assert runs["bg2"].meters.get("nvme_requests") <= 2
+
+    def test_gids_rings_doorbells_not_the_host_stack(self, runs):
+        """Every GIDS read is a GPU-issued doorbell; the host NVMe stack
+        never sees a request, and warp voting merges some same-page reads."""
+        gids = runs["gids"].meters
+        assert gids.get("nvme_requests") == 0
+        assert gids.get("gpu_requests") == gids.get("flash_reads")
+        assert gids.get("gpu_requests") + gids.get("gpu_coalesced_requests") > 0
+        for name in ("cc", "bg1", "bg2"):
+            assert runs[name].meters.get("gpu_requests") == 0, name
+
+    def test_gids_moves_whole_pages_like_cc(self, runs):
+        """Page-granular PCIe traffic puts GIDS near CC, far above BG-2's
+        control-only bytes — but GIDS skips CC's compute-stage feature
+        re-shipment (the pages already sit in GPU memory)."""
+        gids = runs["gids"].meters.get("pcie_bytes")
+        assert gids > 50 * runs["bg2"].meters.get("pcie_bytes")
+        assert gids < runs["cc"].meters.get("pcie_bytes")
 
     def test_dram_bytes_page_vs_sampled(self, runs):
         assert runs["bg1"].meters.get("dram_bytes") > 5 * runs["bg_dgsp"].meters.get(

@@ -1,8 +1,10 @@
-"""Integration tests: the eight platforms reproduce the paper's shape.
+"""Integration tests: the nine platforms reproduce the paper's shape.
 
 One shared simulation sweep (module-scoped fixture) backs many
 assertions, each checking a qualitative claim from the evaluation
-section.
+section. Per-platform *invariants* (run completion, meter conservation,
+payload round-trips, ...) live in ``test_platform_conformance.py``,
+parametrized over the registry instead of hard-coded loops.
 """
 
 import pytest
@@ -10,7 +12,6 @@ import pytest
 from repro.platforms import (
     PLATFORMS,
     PreparedWorkload,
-    platform_by_name,
     run_platform,
 )
 from repro.ssd import traditional_ssd, ull_ssd
@@ -35,32 +36,6 @@ def results(prepared):
 
 def thr(results, name):
     return results[name].throughput_targets_per_sec
-
-
-class TestBasicSanity:
-    def test_all_platforms_complete(self, results):
-        for name, result in results.items():
-            assert result.total_seconds > 0, name
-            assert result.throughput_targets_per_sec > 0, name
-            assert len(result.batches) == NBATCH, name
-
-    def test_flash_reads_happen_everywhere(self, results):
-        for name, result in results.items():
-            assert result.meters.get("flash_reads") > BATCH, name
-
-    def test_prep_batches_are_timed(self, results):
-        for name, result in results.items():
-            for batch in result.batches:
-                assert batch.prep_end > batch.prep_start, name
-                assert batch.compute_end >= batch.compute_start, name
-
-    def test_unknown_platform_rejected(self):
-        with pytest.raises(KeyError):
-            platform_by_name("nonexistent")
-
-    def test_alias_resolution(self):
-        assert platform_by_name("BG-2").name == "bg2"
-        assert platform_by_name("beacongnn").name == "bg2"
 
 
 class TestFigure14Ordering:
@@ -93,6 +68,13 @@ class TestFigure14Ordering:
         """Paper: up to 27.3x vs CC; ~21.7x on amazon. Assert order of
         magnitude rather than the absolute factor."""
         assert thr(results, "bg2") / thr(results, "cc") > 6.0
+
+    def test_gids_between_cc_and_in_storage(self, results):
+        """GPU-initiated direct storage drops the per-request host stack
+        (so it beats CC) but still hauls whole pages over PCIe — the
+        in-storage streaming designs stay well ahead."""
+        assert thr(results, "gids") > thr(results, "cc")
+        assert thr(results, "bg2") > 5 * thr(results, "gids")
 
 
 class TestFigure15Utilization:

@@ -12,7 +12,7 @@ class TestTopLevel:
     def test_headline_exports(self):
         from repro import PLATFORMS, WORKLOADS, run_platform, workload_by_name
 
-        assert len(PLATFORMS) == 8
+        assert len(PLATFORMS) == 9
         assert len(WORKLOADS) == 5
         assert callable(run_platform)
         assert workload_by_name("amazon").name == "amazon"
