@@ -221,6 +221,7 @@ def sweep_cache(
     image_cache=None,
     require_cached: bool = False,
     chunk: Optional[int] = None,
+    executor=None,
 ) -> CacheSweepOutcome:
     """Run the size x policy ablation for one platform on one workload.
 
@@ -333,7 +334,12 @@ def sweep_cache(
         outcome = outcome_from_cache(cells, cache)
     else:
         outcome = run_grid(
-            cells, jobs=jobs, cache=cache, image_cache=image_cache, chunk=chunk
+            cells,
+            jobs=jobs,
+            cache=cache,
+            image_cache=image_cache,
+            chunk=chunk,
+            executor=executor,
         )
     baseline, measured = outcome.results[0], outcome.results[1:]
 

@@ -2,8 +2,9 @@
 
 The fan-out layer over ``repro.platforms.run_platform``: build a grid of
 :class:`GridCell`\\ s, hand it to :func:`run_grid`, and get bit-identical
-results whether the grid runs on one process or eight, cold or from the
-on-disk :class:`ResultCache`.
+results whether the grid runs on one process, eight, or a pool of
+``repro worker`` daemons across machines (``executor="remote"``), cold
+or from the on-disk :class:`ResultCache`.
 """
 
 from .batched import (
@@ -13,6 +14,16 @@ from .batched import (
     execute_batch,
 )
 from .cache import CacheStats, ResultCache, default_cache_dir, stable_hash
+from .executors import (
+    DEFAULT_EXECUTOR,
+    GridExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    executor_by_name,
+    executor_names,
+    register_executor,
+    resolve_executor,
+)
 from .grid import (
     GridCell,
     GridOutcome,
@@ -48,6 +59,14 @@ __all__ = [
     "auto_chunk_size",
     "available_cpus",
     "DEFAULT_MAX_IDLE_SWEEPS",
+    "GridExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "DEFAULT_EXECUTOR",
+    "register_executor",
+    "executor_names",
+    "executor_by_name",
+    "resolve_executor",
     "ResultCache",
     "CacheStats",
     "default_cache_dir",

@@ -18,8 +18,9 @@ payloads produced here are bit-identical to per-cell dispatch.
 :func:`run_grid` ships batches of cells to workers through
 :func:`_execute_chunk`; :func:`auto_chunk_size` and
 :func:`available_cpus` size those batches from the cell count and the
-CPUs this process may actually use (``sched_getaffinity``, not
-``cpu_count``, so CPU-limited containers don't oversubscribe).
+CPUs this process may actually use (``sched_getaffinity`` intersected
+with the cgroup v2 CPU quota, not ``cpu_count``, so CPU-limited
+containers don't oversubscribe).
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..platforms.runner import PlatformRun
+from .envcfg import env_float
 from .serialize import result_to_payload
 
 __all__ = [
@@ -60,17 +62,50 @@ DEFAULT_MAX_LIVE = 4
 DEFAULT_MAX_IDLE_SWEEPS = 8
 
 
-def available_cpus() -> int:
-    """CPUs this process may run on — affinity-aware, never zero.
+_CGROUP_CPU_MAX = "/sys/fs/cgroup/cpu.max"
 
-    ``os.sched_getaffinity`` reflects cgroup/container CPU limits that
-    ``os.cpu_count`` ignores; fall back to the latter where affinity is
-    unsupported (macOS).
+
+def _cgroup_cpu_quota(path: str = _CGROUP_CPU_MAX) -> Optional[int]:
+    """Effective CPU count from the cgroup v2 quota, or None.
+
+    ``cpu.max`` holds ``"<quota> <period>"`` in microseconds, or
+    ``"max"`` for unlimited. A container pinned to e.g. ``200000 100000``
+    may be *scheduled* on every host CPU (affinity says 64) yet only ever
+    receives 2 CPUs of time — sizing a pool off affinity there
+    oversubscribes 32x. Returns ``ceil(quota / period)``; None when
+    unlimited, absent (cgroup v1 / non-Linux), or unparseable.
     """
     try:
-        return len(os.sched_getaffinity(0)) or 1
+        with open(path, "r", encoding="utf-8") as handle:
+            parts = handle.read().split()
+        if not parts or parts[0] == "max":
+            return None
+        quota = int(parts[0])
+        period = int(parts[1]) if len(parts) > 1 else 100_000
+        if quota <= 0 or period <= 0:
+            return None
+        return max(1, math.ceil(quota / period))
+    except (OSError, ValueError):
+        return None
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use — affinity- and quota-aware.
+
+    ``os.sched_getaffinity`` reflects CPU *placement* limits that
+    ``os.cpu_count`` ignores (falling back to the latter where affinity
+    is unsupported, e.g. macOS), but a cgroup v2 CPU *bandwidth* quota
+    caps throughput without touching affinity, so take the minimum of
+    both. Never returns less than 1.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0)) or 1
     except (AttributeError, OSError):
-        return os.cpu_count() or 1
+        cpus = os.cpu_count() or 1
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        cpus = min(cpus, quota)
+    return max(1, cpus)
 
 
 def auto_chunk_size(n_cells: int, jobs: int) -> int:
@@ -187,13 +222,10 @@ def _env_heartbeat(chunk_size: int) -> Optional[Callable[[Dict], None]]:
 
     Workers run far from the orchestrating terminal; setting the env var
     to a positive number of seconds makes each one report sweep progress
-    at that cadence (``0``/unset: silent, the default).
+    at that cadence (``0``/unset: silent, the default). Invalid values
+    warn once and fall back to silent rather than crashing the worker.
     """
-    raw = os.environ.get("REPRO_GRID_HEARTBEAT_S", "")
-    try:
-        interval = float(raw) if raw else 0.0
-    except ValueError:
-        interval = 0.0
+    interval = env_float("REPRO_GRID_HEARTBEAT_S", 0.0, minimum=0.0)
     if interval <= 0:
         return None
     last = [time.monotonic()]

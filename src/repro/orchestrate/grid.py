@@ -16,9 +16,7 @@ the same JSON round trip).
 
 from __future__ import annotations
 
-import multiprocessing
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -279,11 +277,6 @@ class GridOutcome:
         return dict(zip(cells, self.results))
 
 
-def _pool_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
 def _resolve_image_cache(
     image_cache, cache: Optional[ResultCache]
 ) -> Optional[ImageCache]:
@@ -310,6 +303,7 @@ def run_grid(
     base_seed: int = 0,
     image_cache=None,
     chunk: Optional[int] = None,
+    executor=None,
 ) -> GridOutcome:
     """Run every cell, in parallel, skipping cells already in ``cache``.
 
@@ -317,13 +311,20 @@ def run_grid(
     cached — pass through the same serialized payload form, so they are
     interchangeable bit for bit.
 
-    ``jobs=None`` (or ``0``) auto-detects from CPU affinity
-    (:func:`~repro.orchestrate.batched.available_cpus`). ``chunk``
-    selects the dispatch granularity: ``1`` is classic per-cell dispatch
-    (one pool task per cell); any larger value ships batches of that
-    many cells per task through the in-process batched executor
-    (:func:`~repro.orchestrate.batched.execute_batch`); ``None`` (the
-    default) auto-sizes via
+    ``executor`` picks the backend that actually runs pending cells: a
+    registered name (``"serial"``, ``"process"``, ``"remote"``), a
+    :class:`~repro.orchestrate.executors.GridExecutor` instance, or
+    ``None`` to consult ``REPRO_EXECUTOR`` and default to the local
+    process pool. Per-cell seeds and cache keys are fixed *before*
+    dispatch, so every backend produces bit-identical results.
+
+    ``jobs=None`` (or ``0``) auto-detects from CPU affinity and the
+    cgroup CPU quota (:func:`~repro.orchestrate.batched.available_cpus`).
+    ``chunk`` selects the dispatch granularity: ``1`` is classic
+    per-cell dispatch (one pool task per cell); any larger value ships
+    batches of that many cells per task through the in-process batched
+    executor (:func:`~repro.orchestrate.batched.execute_batch`);
+    ``None`` (the default) auto-sizes via
     :func:`~repro.orchestrate.batched.auto_chunk_size`. Every setting
     produces bit-identical results — chunking only changes how the work
     is shipped.
@@ -335,7 +336,8 @@ def run_grid(
     serialized image is persisted so later runs and non-fork workers load
     bytes instead of rebuilding.
     """
-    from .batched import auto_chunk_size, available_cpus, execute_batch
+    from .batched import available_cpus
+    from .executors import resolve_executor
 
     if jobs is None or jobs == 0:
         jobs = available_cpus()
@@ -343,6 +345,7 @@ def run_grid(
         raise ValueError("jobs must be >= 1")
     if chunk is not None and chunk < 1:
         raise ValueError("chunk must be >= 1 (or None for auto)")
+    grid_executor = resolve_executor(executor)
     cells = list(cells)
     seeds = [
         cell.seed if cell.seed is not None else derive_cell_seed(base_seed, cell)
@@ -378,33 +381,16 @@ def run_grid(
                 _prepared_for(spec, page_size, icache_root, cell.layout)
 
     jobs_args = [(cells[i], seeds[i], icache_root) for i in pending]
-    if chunk == 1:
-        # Classic per-cell dispatch: one pool task (and one payload
-        # pickle) per cell. Kept exact for differential testing and as
-        # the perf-suite baseline.
-        if len(jobs_args) > 1 and jobs > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(jobs_args)), mp_context=_pool_context()
-            ) as pool:
-                fresh = list(pool.map(_execute_cell, jobs_args))
-        else:
-            fresh = [_execute_cell(job) for job in jobs_args]
-    else:
-        from .batched import _execute_chunk
-
-        size = chunk if chunk is not None else auto_chunk_size(len(jobs_args), jobs)
-        chunks = [jobs_args[i : i + size] for i in range(0, len(jobs_args), size)]
-        # A pool worker beyond the CPUs this process may use (or beyond
-        # the chunk count) only adds fork + pickling overhead, so cap
-        # the fan-out; excess chunks queue behind the pool.
-        workers = min(jobs, available_cpus(), len(chunks))
-        if workers > 1:
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_pool_context()
-            ) as pool:
-                fresh = [p for batch in pool.map(_execute_chunk, chunks) for p in batch]
-        else:
-            fresh = execute_batch(jobs_args) if jobs_args else []
+    fresh = (
+        grid_executor.run(jobs_args, jobs=jobs, chunk=chunk, cache=cache)
+        if jobs_args
+        else []
+    )
+    if len(fresh) != len(jobs_args):
+        raise RuntimeError(
+            f"executor {grid_executor.name!r} returned {len(fresh)} payloads "
+            f"for {len(jobs_args)} pending cells"
+        )
 
     for i, payload in zip(pending, fresh):
         payloads[i] = payload

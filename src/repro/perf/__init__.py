@@ -12,7 +12,10 @@ dispatch overhead (``repro perf --suite grid``, ``BENCH_grid.json``),
 :mod:`repro.perf.cachebench` the page-cache datapath and offline
 replay engines (``repro perf --suite cache``, ``BENCH_cache.json``), and
 :mod:`repro.perf.partitionbench` the partition/layout locality wins
-(``repro perf --suite partition``, ``BENCH_partition.json``).
+(``repro perf --suite partition``, ``BENCH_partition.json``), and
+:mod:`repro.perf.dispatchbench` the executor backends — serial vs
+per-cell process vs a warm remote worker pool (``repro perf --suite
+dispatch``, ``BENCH_remote.json``).
 """
 
 from .probe import KernelCounters, KernelProbe
@@ -29,6 +32,7 @@ from .microbench import (
 from .preparebench import PREPARE_IMPLS, run_prepare_suite
 from .gridbench import grid_suite_cells, run_grid_suite
 from .cachebench import run_cache_suite, synthetic_page_trace
+from .dispatchbench import run_dispatch_suite
 from .partitionbench import run_partition_suite
 
 __all__ = [
@@ -42,6 +46,7 @@ __all__ = [
     "run_grid_suite",
     "grid_suite_cells",
     "run_cache_suite",
+    "run_dispatch_suite",
     "run_partition_suite",
     "synthetic_page_trace",
     "format_report",

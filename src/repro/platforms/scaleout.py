@@ -331,6 +331,7 @@ def scaleout_outcome(
     image_cache=None,
     require_cached: bool = False,
     chunk: Optional[int] = None,
+    executor=None,
     partitioner: str = DEFAULT_PARTITIONER,
     layout: str = DEFAULT_LAYOUT,
 ) -> ScaleOutOutcome:
@@ -502,7 +503,12 @@ def scaleout_outcome(
         for s in range(num_devices)
     ]
     grid = run_grid(
-        cells, jobs=jobs, cache=cache, image_cache=image_cache, chunk=chunk
+        cells,
+        jobs=jobs,
+        cache=cache,
+        image_cache=image_cache,
+        chunk=chunk,
+        executor=executor,
     )
     devices: List[RunResult] = grid.results
 
@@ -612,6 +618,7 @@ def run_scaleout(
     cache=None,
     image_cache=None,
     chunk: Optional[int] = None,
+    executor=None,
     partitioner: str = DEFAULT_PARTITIONER,
     layout: str = DEFAULT_LAYOUT,
 ) -> ScaleOutResult:
@@ -637,6 +644,7 @@ def run_scaleout(
         cache=cache,
         image_cache=image_cache,
         chunk=chunk,
+        executor=executor,
         partitioner=partitioner,
         layout=layout,
     ).result

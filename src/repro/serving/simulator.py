@@ -234,6 +234,7 @@ class BatchService:
         image_cache=None,
         require_cached: bool = False,
         chunk: Optional[int] = None,
+        executor=None,
     ):
         if require_cached and cache is None:
             raise ValueError("require_cached needs a result cache")
@@ -242,6 +243,7 @@ class BatchService:
         self.image_cache = image_cache
         self.require_cached = require_cached
         self.chunk = chunk
+        self.executor = executor
         self.cells_executed = 0
         self.cell_cache_hits = 0
         self.images_built = 0
@@ -271,6 +273,7 @@ class BatchService:
                 cache=self.cache,
                 image_cache=self.image_cache,
                 chunk=self.chunk,
+                executor=self.executor,
             )
         for cell, result in zip(todo, outcome.results):
             self._memo[self._key(cell)] = result
@@ -357,6 +360,7 @@ def serve(
     image_cache=None,
     require_cached: bool = False,
     chunk: Optional[int] = None,
+    executor=None,
     service: Optional[BatchService] = None,
     page_cache: Optional[CacheConfig] = None,
 ) -> ServingOutcome:
@@ -370,7 +374,8 @@ def serve(
 
     A shared ``service`` (one per load sweep) memoizes batch simulations
     across points; when ``service`` is given it owns the ``jobs`` /
-    ``cache`` / ``chunk`` knobs and the ones passed here are ignored.
+    ``cache`` / ``chunk`` / ``executor`` knobs and the ones passed here
+    are ignored.
     ``require_cached=True`` loads the serving document (or, failing
     that, every needed cell) from cache and raises ``KeyError`` rather
     than simulate.
@@ -447,6 +452,7 @@ def serve(
             image_cache=image_cache,
             require_cached=require_cached,
             chunk=chunk,
+            executor=executor,
         )
     executed_before = service.cells_executed
     hits_before = service.cell_cache_hits

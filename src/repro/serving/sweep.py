@@ -155,6 +155,7 @@ def sweep_serving(
     image_cache=None,
     require_cached: bool = False,
     chunk: Optional[int] = None,
+    executor=None,
     service: Optional[BatchService] = None,
     page_cache: Optional[CacheConfig] = None,
 ) -> ServingSweep:
@@ -175,6 +176,7 @@ def sweep_serving(
             image_cache=image_cache,
             require_cached=require_cached,
             chunk=chunk,
+            executor=executor,
         )
     outcomes = [
         serve(

@@ -63,6 +63,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["perf", "--suite", "nonsense"])
 
+    def test_executor_flags_parse(self):
+        args = build_parser().parse_args(
+            ["compare", "amazon", "--executor", "remote",
+             "--workers", "spawn:2", "--coordinator", "0.0.0.0:9465"]
+        )
+        assert args.executor == "remote"
+        assert args.workers == "spawn:2"
+        assert args.coordinator == "0.0.0.0:9465"
+        assert build_parser().parse_args(["run", "bg2", "ogbn"]).executor is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "amazon", "--executor", "telepathy"]
+            )
+
+    def test_worker_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["worker", "--coordinator", "head:9465", "--retry-s", "0.5",
+             "--max-wait-s", "30", "--once", "--quiet"]
+        )
+        assert args.command == "worker"
+        assert args.coordinator == "head:9465"
+        assert args.retry_s == 0.5 and args.max_wait_s == 30.0
+        assert args.once is True and args.quiet is True
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])  # --coordinator required
+
+    def test_perf_dispatch_suite_parses(self):
+        args = build_parser().parse_args(
+            ["perf", "--suite", "dispatch", "--grid-cells", "6"]
+        )
+        assert args.suite == "dispatch" and args.grid_cells == 6
+
     def test_perf_subcommand_parses(self):
         args = build_parser().parse_args(
             ["perf", "--scale", "0.5", "--repeat", "2", "--no-end-to-end",
@@ -211,6 +243,32 @@ class TestOrchestrationCommands:
     def test_run_without_cache(self, capsys):
         assert main(["run", "bg2", "ogbn", *self.BASE, "--no-cache"]) == 0
         assert "[1 simulated, 0 from cache]" in capsys.readouterr().out
+
+    def test_run_serial_executor_matches_default(self, capsys):
+        argv = ["run", "bg2", "ogbn", *self.BASE, "--no-cache"]
+        assert main(argv) == 0
+        default = capsys.readouterr().out
+        assert main(argv + ["--executor", "serial"]) == 0
+        serial = capsys.readouterr().out
+        assert default == serial
+
+    def test_run_remote_executor_loopback(self, capsys, tmp_path):
+        argv = [
+            "run", "bg2", "ogbn", *self.BASE,
+            "--cache-dir", str(tmp_path),
+            "--executor", "remote", "--workers", "spawn:1",
+            "--coordinator", "127.0.0.1:0",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "[1 simulated, 0 from cache]" in cold
+        # the remote table must match a plain local run bit for bit
+        assert main(
+            ["run", "bg2", "ogbn", *self.BASE, "--cache-dir", str(tmp_path)]
+        ) == 0
+        warm = capsys.readouterr().out
+        assert "[0 simulated, 1 from cache]" in warm
+        assert cold.split("[", 1)[0] == warm.split("[", 1)[0]
 
     def test_cache_stats_and_clear(self, capsys, tmp_path):
         main(["run", "bg2", "ogbn", *self.BASE, "--cache-dir", str(tmp_path)])

@@ -252,3 +252,30 @@ class TestGridSuite:
 
         with pytest.raises(ValueError):
             run_grid_suite(n_cells=1)
+
+
+class TestDispatchSuite:
+    def test_smoke_and_shape(self):
+        from repro.perf import run_dispatch_suite
+
+        report = run_dispatch_suite(n_cells=4, repeats=1, jobs=2, workers=2)
+        rows = report["results"]
+        assert set(rows) == {
+            "dispatch_serial",
+            "dispatch_percell",
+            "dispatch_remote",
+            "dispatch_remote_speedup",
+        }
+        assert rows["dispatch_remote_speedup"]["metric"] == "ratio"
+        assert rows["dispatch_remote_speedup"]["value"] > 0
+        assert rows["dispatch_remote"]["metric"] == "seconds"
+        assert report["params"]["suite"] == "dispatch"
+        assert report["params"]["workers"] == 2
+        assert "dispatch_remote" in format_report(report)
+        assert check_against_baseline(report, report, max_regress=0.5) == []
+
+    def test_rejects_tiny_cell_count(self):
+        from repro.perf import run_dispatch_suite
+
+        with pytest.raises(ValueError):
+            run_dispatch_suite(n_cells=1)
